@@ -1,0 +1,346 @@
+// Command experiments regenerates the tables and figures of Wang & Karimi
+// (EDBT 2016) on the synthetic TGA-profile corpus. Each subcommand prints
+// the rows or series of one exhibit; "all" runs everything.
+//
+// Usage:
+//
+//	experiments [flags] <table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|all>
+//
+// Pair counts default to one tenth of the paper's (100k-500k instead of
+// 1M-5M); -scale multiplies them back up (-scale 10 reproduces paper-scale
+// counts, at a correspondingly longer runtime). Reported execution times are
+// virtual cluster times; see DESIGN.md §6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adrdedup/internal/eval"
+	"adrdedup/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "multiplier on pair-set sizes (10 = paper scale)")
+	seed := flag.Int64("seed", 1, "corpus and sampling seed")
+	quick := flag.Bool("quick", false, "reduced corpus and pair counts for smoke runs")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
+		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := &runner{scale: *scale, seed: *seed, quick: *quick}
+	if err := r.run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	scale float64
+	seed  int64
+	quick bool
+	env   *experiments.Env
+}
+
+func (r *runner) run(exhibit string) error {
+	switch exhibit {
+	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance":
+		return r.dispatch(exhibit)
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance"} {
+			fmt.Printf("==================== %s ====================\n", e)
+			if err := r.dispatch(e); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown exhibit %q", exhibit)
+	}
+}
+
+// n scales a default pair count.
+func (r *runner) n(base int) int {
+	if r.quick {
+		base /= 10
+	}
+	return int(float64(base) * r.scale)
+}
+
+func (r *runner) environment() (*experiments.Env, error) {
+	if r.env != nil {
+		return r.env, nil
+	}
+	corpus := experiments.DefaultCorpus(r.seed)
+	if r.quick {
+		corpus = experiments.SmallCorpus(r.seed)
+	}
+	start := time.Now()
+	env, err := experiments.NewEnv(experiments.EnvConfig{
+		Cluster: experiments.DefaultCluster(),
+		Corpus:  corpus,
+		Seed:    r.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("corpus: %d reports, %d duplicate pairs (prepared in %v)\n\n",
+		len(env.Corpus.Reports), len(env.Corpus.Duplicates), time.Since(start).Round(time.Millisecond))
+	r.env = env
+	return env, nil
+}
+
+func (r *runner) dispatch(exhibit string) error {
+	switch exhibit {
+	case "table2":
+		experiments.Table2(os.Stdout)
+		return nil
+	case "table1":
+		env, err := r.environment()
+		if err != nil {
+			return err
+		}
+		return experiments.Table1(os.Stdout, env.Corpus)
+	case "table3":
+		env, err := r.environment()
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Table3(env.Corpus)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable3(os.Stdout, res)
+		return nil
+	case "fig5":
+		return r.fig5()
+	case "fig6":
+		return r.fig6()
+	case "fig7", "fig8":
+		return r.fig7(exhibit == "fig8")
+	case "fig9":
+		return r.fig9()
+	case "fig10":
+		return r.fig10()
+	case "fig11":
+		return r.fig11()
+	case "ablation":
+		return r.ablation()
+	case "loadbalance":
+		return r.loadbalance()
+	}
+	return fmt.Errorf("unhandled exhibit %q", exhibit)
+}
+
+func (r *runner) loadbalance() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.LoadBalance(env, experiments.LoadBalanceParams{
+		TrainSize: r.n(200_000), TestSize: r.n(10_000), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Load balancing (paper §7 future work): FIFO vs LPT scheduling")
+	fmt.Printf("%-8s %16s\n", "policy", "exec time")
+	for _, row := range rows {
+		fmt.Printf("%-8s %16v\n", row.Policy, row.ExecutionTime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (r *runner) fig5() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	sizes := []int{r.n(100_000), r.n(200_000), r.n(300_000), r.n(400_000), r.n(500_000)}
+	res, err := experiments.Fig5(env, experiments.Fig5Params{
+		TrainSizes: sizes, TestSize: r.n(20_000), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 5(c): AUPR by training size")
+	fmt.Printf("%12s %8s %8s %14s\n", "train pairs", "kNN", "SVM", "SVM clustering")
+	for _, p := range res.Points {
+		fmt.Printf("%12d %8.3f %8.3f %14.3f\n", p.TrainPairs, p.AUPRKNN, p.AUPRSVM, p.AUPRSVMClustering)
+	}
+	fmt.Printf("mean kNN improvement over SVM: %.1f%% (paper: 19.1%%)\n\n", 100*res.ImprovementOverSVM)
+
+	fmt.Printf("Fig 5(a): PR curve at %d training pairs (recall, precision)\n", sizes[len(sizes)-1])
+	printCurves(res.CurveLargest)
+	fmt.Printf("Fig 5(b): PR curve at %d training pairs (recall, precision)\n", sizes[0])
+	printCurves(res.CurveSmall)
+	return nil
+}
+
+func printCurves(curves map[string][]eval.Point) {
+	for _, name := range []string{"kNN", "SVM"} {
+		points := curves[name]
+		fmt.Printf("  %s:", name)
+		step := len(points)/10 + 1
+		for i := 0; i < len(points); i += step {
+			fmt.Printf(" (%.2f,%.2f)", points[i].Recall, points[i].Precision)
+		}
+		fmt.Println()
+	}
+}
+
+func (r *runner) fig6() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	points, err := experiments.Fig6(env, experiments.Fig6Params{
+		TrainSize: r.n(300_000), TestSize: r.n(10_000), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 6: effect of k (train=3M-scaled, test=10k-scaled)")
+	fmt.Printf("%4s %8s %16s %18s\n", "k", "AUPR", "exec time", "clusters checked")
+	for _, p := range points {
+		fmt.Printf("%4d %8.3f %16v %18d\n", p.K, p.AUPR, p.ExecutionTime.Round(time.Millisecond), p.CrossChecked)
+	}
+	if len(points) >= 2 {
+		first, last := points[0], points[len(points)-1]
+		growth := float64(last.ExecutionTime-first.ExecutionTime) / float64(first.ExecutionTime)
+		fmt.Printf("time growth k=%d -> k=%d: %.0f%% (paper: 31%%)\n", first.K, last.K, 100*growth)
+	}
+	return nil
+}
+
+func (r *runner) fig7(asFig8 bool) error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	params := experiments.Fig7Params{
+		Bs:        []int{10, 25, 40, 55, 70},
+		TrainSize: r.n(400_000), TestSize: r.n(10_000), Seed: r.seed,
+	}
+	if asFig8 {
+		params.PressureMemoryMB = 1
+	}
+	points, err := experiments.Fig7(env, params)
+	if err != nil {
+		return err
+	}
+	if asFig8 {
+		fmt.Println("Fig 8: cross/intra ratio and execution time by cluster number (1MB executors)")
+		fmt.Printf("%4s %12s %16s %10s %8s\n", "b", "cross/intra", "exec time", "pressure", "retries")
+		for _, p := range points {
+			fmt.Printf("%4d %12.4f %16v %10d %8d\n",
+				p.B, p.CrossIntraRatio, p.ExecutionTime.Round(time.Millisecond), p.PressureEvents, p.TaskRetries)
+		}
+		return nil
+	}
+	fmt.Println("Fig 7: comparison counts by training cluster number")
+	fmt.Printf("%4s %18s %20s %18s\n", "b", "intra comparisons", "additional clusters", "cross comparisons")
+	for _, p := range points {
+		fmt.Printf("%4d %18d %20d %18d\n",
+			p.B, p.IntraClusterComparisons, p.AdditionalClustersChecked, p.CrossClusterComparisons)
+	}
+	return nil
+}
+
+func (r *runner) fig9() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	points, err := experiments.Fig9(env, experiments.Fig9Params{
+		TrainSizes: []int{r.n(100_000), r.n(200_000), r.n(300_000), r.n(400_000), r.n(500_000)},
+		TestSize:   r.n(10_000),
+		Seed:       r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 9: scalability with training set size (b=32, 25 executors)")
+	fmt.Printf("%12s %8s %16s\n", "train pairs", "blocks", "exec time")
+	for _, p := range points {
+		fmt.Printf("%12d %8d %16v\n", p.TrainPairs, p.BlockNumber, p.ExecutionTime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (r *runner) fig10() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	points, err := experiments.Fig10(env, experiments.Fig10Params{
+		TrainSizes:    []int{r.n(200_000), r.n(300_000), r.n(400_000)},
+		TestSize:      r.n(10_000),
+		DistancePairs: r.n(100_000),
+		Seed:          r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 10: execution time by executor count (b=48, block number 5)")
+	fmt.Printf("%10s %12s %16s %18s\n", "executors", "train pairs", "exec time", "distance time")
+	for _, p := range points {
+		fmt.Printf("%10d %12d %16v %18v\n",
+			p.Executors, p.TrainPairs,
+			p.ExecutionTime.Round(time.Millisecond), p.DistanceTime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (r *runner) fig11() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	points, err := experiments.Fig11(env, experiments.Fig11Params{
+		TrainSize: r.n(100_000), TestSize: r.n(200_000), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 11: testing-set pruning (threshold -1 = no pruning)")
+	fmt.Printf("%10s %10s %16s %22s\n", "f(theta)", "included", "detection time", "true duplicates lost")
+	for _, p := range points {
+		fmt.Printf("%10.1f %9.1f%% %16v %22d\n",
+			p.Threshold, 100*p.IncludedFraction, p.DetectionTime.Round(time.Millisecond), p.TrueDuplicatesPruned)
+	}
+	return nil
+}
+
+func (r *runner) ablation() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Ablation(env, experiments.AblationParams{
+		TrainSize: r.n(200_000), TestSize: r.n(10_000), Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablations of Fast kNN design choices")
+	fmt.Printf("%-22s %8s %18s %18s %14s %16s\n",
+		"variant", "AUPR", "intra comparisons", "cross comparisons", "add. clusters", "exec time")
+	for _, row := range rows {
+		fmt.Printf("%-22s %8.3f %18d %18d %14d %16v\n",
+			row.Variant, row.AUPR, row.IntraClusterComparisons,
+			row.CrossClusterComparisons, row.AdditionalClusters,
+			row.ExecutionTime.Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunnerDispatchTables(t *testing.T) {
+	r := &runner{scale: 1, seed: 1, quick: true}
+	for _, exhibit := range []string{"table2", "table1", "table3"} {
+		if err := r.run(exhibit); err != nil {
+			t.Errorf("%s: %v", exhibit, err)
+		}
+	}
+}
+
+func TestRunnerRejectsUnknownExhibit(t *testing.T) {
+	r := &runner{scale: 1, seed: 1, quick: true}
+	if err := r.run("fig99"); err == nil {
+		t.Error("unknown exhibit must error")
+	}
+}
+
+func TestRunnerScaling(t *testing.T) {
+	r := &runner{scale: 2, quick: false}
+	if got := r.n(1000); got != 2000 {
+		t.Errorf("n(1000) at scale 2 = %d", got)
+	}
+	r = &runner{scale: 1, quick: true}
+	if got := r.n(1000); got != 100 {
+		t.Errorf("quick n(1000) = %d", got)
+	}
+}

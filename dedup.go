@@ -1,0 +1,378 @@
+// Package adrdedup is a library for scalable duplicate detection in adverse
+// drug reaction (ADR) report databases, reproducing Wang & Karimi, "Parallel
+// Duplicate Detection in Adverse Drug Reaction Databases with Spark"
+// (EDBT 2016).
+//
+// The Detector implements the workflow of the paper's Figure 1: reports are
+// text-processed, candidate report pairs are reduced to 7-dimensional field
+// distance vectors (§4.2), and a Fast kNN classifier (§4.3) labels each pair
+// duplicate or not. The classifier's kNN join is parallelized on an embedded
+// Spark-like engine (internal/rdd + internal/cluster): the labelled training
+// pairs are Voronoi-partitioned with k-means, cross-partition searches are
+// pruned with the hyperplane bound of Algorithm 1, and the testing set can
+// be pre-pruned around the positive pairs (§4.3.4).
+//
+// Typical use:
+//
+//	det, _ := adrdedup.New(adrdedup.Options{})
+//	det.AddKnownReports(existing)                  // seed the database
+//	det.TrainFromLabeledCases(labelled)            // expert-labelled pairs
+//	matches, _ := det.Detect(newBatch)             // Eq. 3 over the batch
+//
+// Detect checks every new report against the existing database and the rest
+// of its batch (Eq. 3), returns scored pairs, and absorbs the batch into the
+// database so the next batch is checked against it too.
+package adrdedup
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"adrdedup/internal/adr"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+	"adrdedup/internal/pairdist"
+	"adrdedup/internal/rdd"
+)
+
+// Options configures a Detector. Zero values take defaults.
+type Options struct {
+	// Cluster configures the embedded execution engine (executor count,
+	// memory, failure injection, network model). The zero value is a
+	// 4-executor cluster.
+	Cluster cluster.Config
+	// Classifier configures Fast kNN (k, cluster count b, partitions c,
+	// threshold θ, testing-set pruning).
+	Classifier core.Config
+	// ExtractPartitions sets the parallelism of report text processing
+	// (0 = the engine's default parallelism).
+	ExtractPartitions int
+	// CandidateBlocking restricts Eq. 3's candidate pairs to reports that
+	// share at least one drug or one reaction term — the classic
+	// record-linkage blocking step. It cuts candidate counts by orders of
+	// magnitude on large databases at the cost of missing duplicates
+	// whose drug *and* reaction lists were both recoded (rare: the
+	// paper's Table 1 duplicates always share the drug).
+	CandidateBlocking bool
+}
+
+// Detector is the end-to-end duplicate detection pipeline bound to one
+// report database. Methods must be called from one goroutine, mirroring a
+// Spark driver.
+type Detector struct {
+	opts Options
+
+	cl  *cluster.Cluster
+	ctx *rdd.Context
+	db  *adr.Database
+
+	// feats[i] is the preprocessed form of the report with ArrivalSeq i.
+	feats []pairdist.Features
+
+	clf      *core.Classifier
+	training []core.TrainingPair
+}
+
+// Match is one scored report pair produced by Detect.
+type Match struct {
+	// CaseA and CaseB identify the reports (CaseB is the newer one).
+	CaseA, CaseB string
+	// Score is the Eq. 5 classifier score.
+	Score float64
+	// Duplicate is the Eq. 6 decision at the configured θ.
+	Duplicate bool
+	// Pruned marks pairs eliminated by testing-set pruning.
+	Pruned bool
+}
+
+// LabeledCasePair is an expert-labelled report pair referenced by case
+// numbers, as a regulator's officers would record them.
+type LabeledCasePair struct {
+	CaseA, CaseB string
+	Duplicate    bool
+}
+
+// New creates a Detector with an empty database.
+func New(opts Options) (*Detector, error) {
+	if err := opts.Classifier.Validate(); err != nil {
+		return nil, err
+	}
+	cl := cluster.New(opts.Cluster)
+	return &Detector{
+		opts: opts,
+		cl:   cl,
+		ctx:  rdd.NewContext(cl),
+		db:   adr.NewDatabase(),
+	}, nil
+}
+
+// Database exposes the underlying report database.
+func (d *Detector) Database() *adr.Database { return d.db }
+
+// Metrics returns a snapshot of the engine's counters.
+func (d *Detector) Metrics() cluster.MetricsSnapshot { return d.cl.Metrics().Snapshot() }
+
+// Engine returns the embedded RDD context, for advanced use (experiment
+// harnesses, custom jobs against the same virtual cluster).
+func (d *Detector) Engine() *rdd.Context { return d.ctx }
+
+// ValidateBatch runs structural validation (internal/adr.Validate) over a
+// report batch and returns the issues keyed by case number. Issues are
+// warnings — Detect tolerates partial records — but regulators generally
+// want them surfaced before ingestion.
+func (d *Detector) ValidateBatch(batch []adr.Report) map[string][]adr.ValidationIssue {
+	out := make(map[string][]adr.ValidationIssue)
+	for i, r := range batch {
+		if issues := adr.Validate(r); len(issues) > 0 {
+			key := r.CaseNumber
+			if key == "" {
+				key = fmt.Sprintf("(report #%d without case number)", i)
+			}
+			out[key] = issues
+		}
+	}
+	return out
+}
+
+// AddKnownReports appends reports to the database without duplicate
+// checking — the initial load of an existing regulator database.
+func (d *Detector) AddKnownReports(reports []adr.Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if err := d.db.Add(reports...); err != nil {
+		return err
+	}
+	return d.extendFeatures()
+}
+
+// extendFeatures preprocesses any reports not yet featurized.
+func (d *Detector) extendFeatures() error {
+	all := d.db.Reports()
+	if len(d.feats) == len(all) {
+		return nil
+	}
+	fresh := all[len(d.feats):]
+	parts := d.opts.ExtractPartitions
+	if parts <= 0 {
+		parts = d.ctx.DefaultParallelism()
+	}
+	feats, err := pairdist.ExtractAll(d.ctx, fresh, parts)
+	if err != nil {
+		return fmt.Errorf("adrdedup: extracting features: %w", err)
+	}
+	d.feats = append(d.feats, feats...)
+	return nil
+}
+
+// TrainFromLabeledCases computes distance vectors for the labelled pairs and
+// (re)trains the Fast kNN classifier. All referenced case numbers must
+// already be in the database.
+func (d *Detector) TrainFromLabeledCases(pairs []LabeledCasePair) error {
+	if len(pairs) == 0 {
+		return errors.New("adrdedup: no labelled pairs")
+	}
+	ids := make([]pairdist.IDPair, len(pairs))
+	for i, p := range pairs {
+		a, ok := d.db.Get(p.CaseA)
+		if !ok {
+			return fmt.Errorf("adrdedup: unknown case %q", p.CaseA)
+		}
+		b, ok := d.db.Get(p.CaseB)
+		if !ok {
+			return fmt.Errorf("adrdedup: unknown case %q", p.CaseB)
+		}
+		label := -1
+		if p.Duplicate {
+			label = +1
+		}
+		ids[i] = pairdist.IDPair{A: a.ArrivalSeq, B: b.ArrivalSeq, Label: label}
+	}
+	return d.TrainFromIDPairs(ids)
+}
+
+// TrainFromIDPairs trains directly from arrival-sequence pairs with labels
+// (+1 duplicate, -1 non-duplicate). It is the lower-level entry point used
+// by the experiment harness, where pair sets are sampled by index.
+func (d *Detector) TrainFromIDPairs(ids []pairdist.IDPair) error {
+	recs, err := pairdist.ComputeVectors(d.ctx, d.feats, ids, d.classifierPartitions())
+	if err != nil {
+		return fmt.Errorf("adrdedup: vectorizing training pairs: %w", err)
+	}
+	training := make([]core.TrainingPair, len(recs))
+	for i, r := range recs {
+		training[i] = core.TrainingPair{Vec: r.Vec, Label: r.Label}
+	}
+	clf, err := core.Train(d.ctx, training, d.opts.Classifier)
+	if err != nil {
+		return fmt.Errorf("adrdedup: training classifier: %w", err)
+	}
+	d.clf = clf
+	d.training = training
+	return nil
+}
+
+// SaveModel serializes the trained classifier so a later process can skip
+// retraining. The report database itself is saved separately (adr.WriteJSON).
+func (d *Detector) SaveModel(w io.Writer) error {
+	if d.clf == nil {
+		return errors.New("adrdedup: no trained model to save")
+	}
+	return d.clf.Save(w)
+}
+
+// LoadModel restores a classifier previously written by SaveModel, binding
+// it to this detector's engine. The database contents do not need to match
+// the training-time database; the model is self-contained.
+func (d *Detector) LoadModel(r io.Reader) error {
+	clf, err := core.Load(d.ctx, r)
+	if err != nil {
+		return err
+	}
+	d.clf = clf
+	d.training = nil
+	return nil
+}
+
+// Trained reports whether a classifier is available.
+func (d *Detector) Trained() bool { return d.clf != nil }
+
+// TrainingSize returns the number of training pairs of the current model.
+func (d *Detector) TrainingSize() int { return len(d.training) }
+
+func (d *Detector) classifierPartitions() int {
+	if d.opts.Classifier.C > 0 {
+		return d.opts.Classifier.C
+	}
+	return d.ctx.DefaultParallelism()
+}
+
+// Detect implements Eq. 3: every report in the batch is paired with every
+// earlier database report and with the batch reports before it, the pairs
+// are vectorized and classified, and the batch is then absorbed into the
+// database. Matches are returned sorted by descending score; pruned pairs
+// are omitted unless includePruned is requested via DetectAll.
+func (d *Detector) Detect(batch []adr.Report) ([]Match, error) {
+	return d.detect(batch, false)
+}
+
+// DetectAll is Detect but also returns pairs eliminated by testing-set
+// pruning (with Pruned set), for auditability.
+func (d *Detector) DetectAll(batch []adr.Report) ([]Match, error) {
+	return d.detect(batch, true)
+}
+
+func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, error) {
+	if d.clf == nil {
+		return nil, errors.New("adrdedup: classifier not trained")
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	existing := d.db.Len()
+	if err := d.db.Add(batch...); err != nil {
+		return nil, err
+	}
+	if err := d.extendFeatures(); err != nil {
+		return nil, err
+	}
+	total := d.db.Len()
+
+	// Candidate pairs of Eq. 3: new x earlier, including earlier batch
+	// members (r is checked against A ∪ R - r, deduplicated by ordering).
+	var ids []pairdist.IDPair
+	if d.opts.CandidateBlocking {
+		ids = d.blockedCandidates(existing, total)
+	} else {
+		for b := existing; b < total; b++ {
+			for a := 0; a < b; a++ {
+				ids = append(ids, pairdist.IDPair{A: a, B: b})
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	recs, err := pairdist.ComputeVectors(d.ctx, d.feats, ids, d.classifierPartitions())
+	if err != nil {
+		return nil, fmt.Errorf("adrdedup: vectorizing candidate pairs: %w", err)
+	}
+	vecs := make([][]float64, len(recs))
+	for i, r := range recs {
+		vecs[i] = r.Vec
+	}
+	results, _, err := d.clf.Classify(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("adrdedup: classifying candidate pairs: %w", err)
+	}
+
+	reports := d.db.Reports()
+	matches := make([]Match, 0, len(results))
+	for _, res := range results {
+		if res.Pruned && !includePruned {
+			continue
+		}
+		pair := ids[res.ID]
+		matches = append(matches, Match{
+			CaseA:     reports[pair.A].CaseNumber,
+			CaseB:     reports[pair.B].CaseNumber,
+			Score:     res.Score,
+			Duplicate: res.Label > 0,
+			Pruned:    res.Pruned,
+		})
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Score > matches[j].Score })
+	return matches, nil
+}
+
+// blockedCandidates generates the Eq. 3 candidate set under blocking: a new
+// report is paired only with earlier reports that share a drug or reaction
+// term. Features are already extracted, so the inverted index comes from
+// their term sets.
+func (d *Detector) blockedCandidates(existing, total int) []pairdist.IDPair {
+	byTerm := make(map[string][]int)
+	key := func(kind, term string) string { return kind + "\x00" + term }
+	for i := 0; i < total; i++ {
+		for _, t := range d.feats[i].DrugSet {
+			byTerm[key("d", t)] = append(byTerm[key("d", t)], i)
+		}
+		for _, t := range d.feats[i].ADRSet {
+			byTerm[key("a", t)] = append(byTerm[key("a", t)], i)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var ids []pairdist.IDPair
+	for b := existing; b < total; b++ {
+		consider := func(terms []string, kind string) {
+			for _, t := range terms {
+				for _, a := range byTerm[key(kind, t)] {
+					if a >= b {
+						continue
+					}
+					k := [2]int{a, b}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					ids = append(ids, pairdist.IDPair{A: a, B: b})
+				}
+			}
+		}
+		consider(d.feats[b].DrugSet, "d")
+		consider(d.feats[b].ADRSet, "a")
+	}
+	return ids
+}
+
+// Duplicates filters matches to the positive decisions.
+func Duplicates(matches []Match) []Match {
+	out := make([]Match, 0, len(matches))
+	for _, m := range matches {
+		if m.Duplicate {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package adrdedup
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"adrdedup/internal/adr"
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+	"adrdedup/internal/pairdist"
+)
+
+// testCorpus returns a small deterministic corpus plus a detector pre-loaded
+// with all but the last `holdout` reports.
+func testCorpus(t *testing.T, holdout int) (*adrgen.Corpus, *Detector, []adr.Report) {
+	t.Helper()
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 500, DuplicatePairs: 40, NumDrugs: 80, NumADRs: 120, Seed: 42,
+	})
+	det, err := New(Options{
+		Cluster:    cluster.Config{Executors: 4, CoresPerExecutor: 2},
+		Classifier: core.Config{K: 7, B: 8, C: 4, Theta: 0, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(c.Reports) - holdout
+	// Strip generator arrival sequences; the database assigns its own.
+	existing := make([]adr.Report, cut)
+	copy(existing, c.Reports[:cut])
+	batch := make([]adr.Report, holdout)
+	copy(batch, c.Reports[cut:])
+	if err := det.AddKnownReports(existing); err != nil {
+		t.Fatal(err)
+	}
+	return c, det, batch
+}
+
+// trainOnGroundTruth trains the detector on all duplicate pairs fully inside
+// the loaded database plus sampled negatives.
+func trainOnGroundTruth(t *testing.T, c *adrgen.Corpus, det *Detector, negatives int) {
+	t.Helper()
+	var labelled []LabeledCasePair
+	for _, d := range c.Duplicates {
+		if _, okA := det.Database().Get(d.CaseA); !okA {
+			continue
+		}
+		if _, okB := det.Database().Get(d.CaseB); !okB {
+			continue
+		}
+		labelled = append(labelled, LabeledCasePair{CaseA: d.CaseA, CaseB: d.CaseB, Duplicate: true})
+	}
+	// Negative sampling mirrors the paper's curated non-duplicate
+	// database: it must contain the confusable pairs (same campaign)
+	// alongside ordinary ones, or the classifier never learns the
+	// boundary that matters.
+	reports := det.Database().Reports()
+	count := 0
+	byCampaign := make(map[int][]int)
+	for i, camp := range c.CampaignOf {
+		if camp < 0 {
+			continue
+		}
+		if _, ok := det.Database().Get(c.Reports[i].CaseNumber); ok {
+			byCampaign[camp] = append(byCampaign[camp], i)
+		}
+	}
+	// Iterate campaigns in sorted order: map iteration order would make
+	// the training set differ run to run.
+	campIDs := make([]int, 0, len(byCampaign))
+	for id := range byCampaign {
+		campIDs = append(campIDs, id)
+	}
+	sort.Ints(campIDs)
+	hardBudget := negatives / 3
+	for _, id := range campIDs {
+		members := byCampaign[id]
+		for i := 0; i+1 < len(members) && count < hardBudget; i++ {
+			a, b := members[i], members[i+1]
+			if c.IsDuplicatePair(a, b) {
+				continue
+			}
+			labelled = append(labelled, LabeledCasePair{
+				CaseA: c.Reports[a].CaseNumber, CaseB: c.Reports[b].CaseNumber,
+			})
+			count++
+		}
+	}
+	step := len(reports)*len(reports)/(2*negatives) + 1
+	for i := 0; i < len(reports) && count < negatives; i++ {
+		for j := i + 1; j < len(reports) && count < negatives; j += step {
+			a, b := reports[i], reports[j]
+			if c.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+				continue
+			}
+			labelled = append(labelled, LabeledCasePair{CaseA: a.CaseNumber, CaseB: b.CaseNumber})
+			count++
+		}
+	}
+	if err := det.TrainFromLabeledCases(labelled); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidatesClassifierConfig(t *testing.T) {
+	if _, err := New(Options{Classifier: core.Config{K: 4}}); err == nil {
+		t.Error("even k must be rejected")
+	}
+}
+
+func TestDetectRequiresTraining(t *testing.T) {
+	det, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect([]adr.Report{{CaseNumber: "X"}}); err == nil {
+		t.Error("Detect before training must fail")
+	}
+}
+
+func TestTrainFromLabeledCasesUnknownCase(t *testing.T) {
+	det, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = det.TrainFromLabeledCases([]LabeledCasePair{{CaseA: "nope", CaseB: "also-nope"}})
+	if err == nil {
+		t.Error("unknown case numbers must fail")
+	}
+	if err := det.TrainFromLabeledCases(nil); err == nil {
+		t.Error("empty training must fail")
+	}
+}
+
+func TestEndToEndDetectFindsInjectedDuplicate(t *testing.T) {
+	c, det, batch := testCorpus(t, 20)
+	trainOnGroundTruth(t, c, det, 2000)
+	if !det.Trained() {
+		t.Fatal("not trained")
+	}
+
+	// Find a ground-truth duplicate pair with one half in the batch and
+	// one half in the database; there is usually at least one with a
+	// 20-report batch and 40 duplicate pairs.
+	type target struct{ inDB, inBatch string }
+	var targets []target
+	inBatch := make(map[string]bool)
+	for _, r := range batch {
+		inBatch[r.CaseNumber] = true
+	}
+	for _, d := range c.Duplicates {
+		_, aDB := det.Database().Get(d.CaseA)
+		_, bDB := det.Database().Get(d.CaseB)
+		switch {
+		case aDB && inBatch[d.CaseB]:
+			targets = append(targets, target{inDB: d.CaseA, inBatch: d.CaseB})
+		case bDB && inBatch[d.CaseA]:
+			targets = append(targets, target{inDB: d.CaseB, inBatch: d.CaseA})
+		}
+	}
+
+	matches, err := det.Detect(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches returned")
+	}
+	found := make(map[[2]string]Match)
+	for _, m := range matches {
+		found[[2]string{m.CaseA, m.CaseB}] = m
+		found[[2]string{m.CaseB, m.CaseA}] = m
+	}
+	if len(targets) > 0 {
+		recovered := 0
+		for _, tg := range targets {
+			if m, ok := found[[2]string{tg.inDB, tg.inBatch}]; ok && m.Duplicate {
+				recovered++
+			}
+		}
+		if recovered == 0 {
+			t.Errorf("none of %d cross-batch ground-truth duplicates detected", len(targets))
+		}
+	}
+	// Matches must be sorted by descending score.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Score > matches[i-1].Score {
+			t.Fatal("matches not sorted by score")
+		}
+	}
+	// Precision sanity: most positive decisions should be true duplicates.
+	dups := Duplicates(matches)
+	if len(dups) > 0 {
+		correct := 0
+		for _, m := range dups {
+			a, _ := det.Database().Get(m.CaseA)
+			b, _ := det.Database().Get(m.CaseB)
+			if c.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+				correct++
+			}
+		}
+		if float64(correct) < 0.5*float64(len(dups)) {
+			t.Errorf("only %d/%d detected duplicates are real", correct, len(dups))
+		}
+	}
+	// The batch was absorbed: database grew.
+	if det.Database().Len() != 500 {
+		t.Errorf("database has %d reports, want 500", det.Database().Len())
+	}
+}
+
+func TestDetectEmptyBatch(t *testing.T) {
+	c, det, _ := testCorpus(t, 10)
+	trainOnGroundTruth(t, c, det, 500)
+	matches, err := det.Detect(nil)
+	if err != nil || matches != nil {
+		t.Errorf("empty batch: %v, %v", matches, err)
+	}
+}
+
+func TestDetectAllIncludesPruned(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 300, DuplicatePairs: 25, NumDrugs: 50, NumADRs: 80, Seed: 7,
+	})
+	det, err := New(Options{
+		Cluster: cluster.Config{Executors: 2},
+		Classifier: core.Config{K: 5, B: 4, C: 2, Seed: 2,
+			Pruning: &core.PruningConfig{Clusters: 4, FTheta: 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.AddKnownReports(c.Reports[:290]); err != nil {
+		t.Fatal(err)
+	}
+	trainOnGroundTruth(t, c, det, 800)
+	all, err := det.DetectAll(c.Reports[290:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for _, m := range all {
+		if m.Pruned {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Error("expected some pruned candidate pairs with pruning enabled")
+	}
+	concise, err := det.Detect(nil)
+	_ = concise
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalBatchesAccumulate(t *testing.T) {
+	c, det, batch := testCorpus(t, 30)
+	trainOnGroundTruth(t, c, det, 1000)
+	first := batch[:15]
+	second := batch[15:]
+	if _, err := det.Detect(first); err != nil {
+		t.Fatal(err)
+	}
+	lenAfterFirst := det.Database().Len()
+	if _, err := det.Detect(second); err != nil {
+		t.Fatal(err)
+	}
+	if det.Database().Len() != lenAfterFirst+15 {
+		t.Errorf("second batch not absorbed: %d", det.Database().Len())
+	}
+}
+
+func TestTrainFromIDPairsMatchesLabeledCases(t *testing.T) {
+	c, det, _ := testCorpus(t, 10)
+	_ = c
+	ids := []pairdist.IDPair{{A: 0, B: 1, Label: -1}, {A: 2, B: 3, Label: +1}, {A: 4, B: 5, Label: -1}}
+	if err := det.TrainFromIDPairs(ids); err != nil {
+		t.Fatal(err)
+	}
+	if det.TrainingSize() != 3 {
+		t.Errorf("training size = %d", det.TrainingSize())
+	}
+}
+
+func TestCandidateBlockingKeepsDuplicatesCutsPairs(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 500, DuplicatePairs: 40, NumDrugs: 80, NumADRs: 120, Seed: 42,
+	})
+	build := func(blocking bool) (*Detector, []adr.Report) {
+		det, err := New(Options{
+			Cluster:           cluster.Config{Executors: 4},
+			Classifier:        core.Config{K: 7, B: 8, C: 4, Seed: 1},
+			CandidateBlocking: blocking,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := len(c.Reports) - 20
+		existing := make([]adr.Report, cut)
+		copy(existing, c.Reports[:cut])
+		batch := make([]adr.Report, 20)
+		copy(batch, c.Reports[cut:])
+		if err := det.AddKnownReports(existing); err != nil {
+			t.Fatal(err)
+		}
+		trainOnGroundTruth(t, c, det, 1000)
+		return det, batch
+	}
+
+	detFull, batch := build(false)
+	full, err := detFull.Detect(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detBlocked, batch2 := build(true)
+	blocked, err := detBlocked.Detect(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) >= len(full) {
+		t.Errorf("blocking scored %d pairs vs exhaustive %d; expected far fewer", len(blocked), len(full))
+	}
+	// Every ground-truth duplicate flagged by the exhaustive run must
+	// still be flagged under blocking (duplicates share their drug).
+	flaggedBlocked := make(map[[2]string]bool)
+	for _, m := range Duplicates(blocked) {
+		flaggedBlocked[[2]string{m.CaseA, m.CaseB}] = true
+		flaggedBlocked[[2]string{m.CaseB, m.CaseA}] = true
+	}
+	for _, m := range Duplicates(full) {
+		a, _ := detFull.Database().Get(m.CaseA)
+		b, _ := detFull.Database().Get(m.CaseB)
+		if !c.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+			continue
+		}
+		if !flaggedBlocked[[2]string{m.CaseA, m.CaseB}] {
+			t.Errorf("blocking lost true duplicate %s/%s", m.CaseA, m.CaseB)
+		}
+	}
+}
+
+func TestSaveLoadModelOnDetector(t *testing.T) {
+	c, det, batch := testCorpus(t, 10)
+	trainOnGroundTruth(t, c, det, 800)
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh detector, same database contents, model loaded instead of
+	// retrained: Detect must work and produce scored matches.
+	det2, err := New(Options{
+		Cluster:    cluster.Config{Executors: 2},
+		Classifier: core.Config{K: 7, B: 8, C: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := make([]adr.Report, 490)
+	copy(existing, c.Reports[:490])
+	for i := range existing {
+		existing[i].ArrivalSeq = 0
+	}
+	if err := det2.AddKnownReports(existing); err != nil {
+		t.Fatal(err)
+	}
+	if err := det2.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !det2.Trained() {
+		t.Fatal("loaded detector not trained")
+	}
+	matches, err := det2.Detect(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Error("loaded model produced no matches")
+	}
+
+	// Saving before training must fail.
+	det3, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det3.SaveModel(&bytes.Buffer{}); err == nil {
+		t.Error("SaveModel before training must fail")
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	det, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []adr.Report{
+		{CaseNumber: "OK", CalculatedAge: 30, Sex: "F",
+			GenericNameDesc: "Atorvastatin", MedDRAPTName: "Myalgia"},
+		{CaseNumber: "BAD", CalculatedAge: 400, Sex: "Z"},
+		{CalculatedAge: 30, GenericNameDesc: "X", MedDRAPTName: "Y"}, // no case number
+	}
+	issues := det.ValidateBatch(batch)
+	if len(issues) != 2 {
+		t.Fatalf("flagged %d reports, want 2: %v", len(issues), issues)
+	}
+	if len(issues["BAD"]) < 2 {
+		t.Errorf("BAD issues = %v", issues["BAD"])
+	}
+	if _, ok := issues["OK"]; ok {
+		t.Error("clean report flagged")
+	}
+}
+
+func TestDetectUnderFaultInjectionMatchesCleanRun(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 400, DuplicatePairs: 30, NumDrugs: 60, NumADRs: 90, Seed: 21,
+	})
+	run := func(failureRate float64) []Match {
+		det, err := New(Options{
+			Cluster: cluster.Config{
+				Executors: 4, FailureRate: failureRate, MaxTaskRetries: 40, Seed: 9,
+			},
+			Classifier: core.Config{K: 7, B: 6, C: 3, Seed: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		existing := make([]adr.Report, 385)
+		copy(existing, c.Reports[:385])
+		batch := make([]adr.Report, 15)
+		copy(batch, c.Reports[385:])
+		for i := range existing {
+			existing[i].ArrivalSeq = 0
+		}
+		for i := range batch {
+			batch[i].ArrivalSeq = 0
+		}
+		if err := det.AddKnownReports(existing); err != nil {
+			t.Fatal(err)
+		}
+		trainOnGroundTruth(t, c, det, 600)
+		matches, err := det.Detect(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return matches
+	}
+	clean := run(0)
+	faulty := run(0.2)
+	if len(clean) != len(faulty) {
+		t.Fatalf("match counts differ: %d vs %d", len(clean), len(faulty))
+	}
+	for i := range clean {
+		if clean[i].CaseA != faulty[i].CaseA || clean[i].CaseB != faulty[i].CaseB ||
+			clean[i].Duplicate != faulty[i].Duplicate {
+			t.Fatalf("fault injection changed match %d: %+v vs %+v", i, clean[i], faulty[i])
+		}
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	c, det, _ := testCorpus(t, 10)
+	_ = c
+	m := det.Metrics()
+	if m.RecordsProcessed == 0 {
+		t.Error("feature extraction should have processed records")
+	}
+	if det.Engine() == nil {
+		t.Error("engine must be exposed")
+	}
+}

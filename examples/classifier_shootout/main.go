@@ -1,0 +1,109 @@
+// Classifier shootout: the paper's Fig. 5 comparison in miniature. Builds an
+// imbalanced labelled pair set from a synthetic corpus, trains Fast kNN,
+// a linear SVM, and the SVM-clustering variant, and compares precision-recall
+// behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+	"adrdedup/internal/eval"
+	"adrdedup/internal/experiments"
+	"adrdedup/internal/svm"
+)
+
+func main() {
+	env, err := experiments.NewEnv(experiments.EnvConfig{
+		Cluster: cluster.Config{Executors: 8},
+		Corpus:  experiments.SmallCorpus(3),
+		Seed:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := env.BuildPairData(40_000, 8_000, 0.3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	positives := 0
+	for _, l := range data.TestLabels {
+		if l == +1 {
+			positives++
+		}
+	}
+	fmt.Printf("train: %d pairs (%d duplicates) — test: %d pairs (%d duplicates)\n",
+		len(data.Train), len(env.TrainDups), len(data.TestVecs), positives)
+
+	// Fast kNN.
+	clf, err := core.Train(env.Ctx, data.Train, core.Config{K: 9, B: 24, C: 6, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, stats, err := clf.Classify(data.TestVecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	knnScores := make([]float64, len(results))
+	for _, r := range results {
+		knnScores[r.ID] = r.Score
+	}
+
+	// SVM baselines.
+	vecs, labels := experiments.SVMLabels(data.Train)
+	svmModel, err := svm.Train(vecs, labels, svm.Options{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clModel, err := svm.TrainClustered(vecs, labels, 8, svm.Options{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, scores []float64) {
+		aupr, err := eval.AUPR(scores, data.TestLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := eval.Confusion{}
+		bestF1 := -1.0
+		curve, err := eval.PRCurve(scores, data.TestLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range curve {
+			c := eval.ConfusionAt(scores, data.TestLabels, p.Threshold)
+			if f1 := c.F1(); f1 > bestF1 {
+				bestF1 = f1
+				best = c
+			}
+		}
+		fmt.Printf("%-16s AUPR %.3f | best F1 %.3f (precision %.3f, recall %.3f)\n",
+			name, aupr, bestF1, best.Precision(), best.Recall())
+	}
+	report("Fast kNN", knnScores)
+	report("SVM", svmModel.DecisionBatch(data.TestVecs))
+	report("SVM clustering", clModel.DecisionBatch(data.TestVecs))
+
+	fmt.Printf("\nFast kNN cost: %d intra + %d cross comparisons (ratio %.4f), virtual time %v\n",
+		stats.IntraClusterComparisons, stats.CrossClusterComparisons,
+		float64(stats.CrossClusterComparisons)/float64(stats.IntraClusterComparisons),
+		stats.VirtualTime.Round(1e6))
+
+	fmt.Println("\nFast kNN precision-recall curve (TSV):")
+	curve, err := eval.PRCurve(knnScores, data.TestLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step := len(curve)/15 + 1
+	sampled := make([]eval.Point, 0, 16)
+	for i := 0; i < len(curve); i += step {
+		sampled = append(sampled, curve[i])
+	}
+	if err := eval.WriteCurve(os.Stdout, sampled); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Cluster tuning: how the training cluster number b trades intra-cluster
+// work against cross-cluster work (the paper's Figs. 7-8 in miniature), and
+// what happens when joined partitions stop fitting in executor memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/experiments"
+)
+
+func main() {
+	env, err := experiments.NewEnv(experiments.EnvConfig{
+		Cluster: cluster.Config{Executors: 16, SchedulerOverheadMS: 2, ShuffleLatencyMS: 1},
+		Corpus:  experiments.SmallCorpus(9),
+		Seed:    10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sweep 1: comfortable memory (64MB executors)")
+	points, err := experiments.Fig7(env, experiments.Fig7Params{
+		Bs: []int{5, 10, 20, 40, 80}, TrainSize: 60_000, TestSize: 5_000, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSweep(points)
+
+	fmt.Println("\nsweep 2: tight memory (1MB executors) — small b overruns executor memory,")
+	fmt.Println("tasks spill and time out, and retries stretch the execution time:")
+	points, err = experiments.Fig7(env, experiments.Fig7Params{
+		Bs: []int{5, 10, 20, 40, 80}, TrainSize: 60_000, TestSize: 5_000, Seed: 11,
+		PressureMemoryMB: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSweep(points)
+}
+
+func printSweep(points []experiments.Fig7Point) {
+	fmt.Printf("%4s %14s %14s %10s %10s %14s %9s\n",
+		"b", "intra cmps", "cross cmps", "ratio", "clusters+", "exec time", "pressure")
+	for _, p := range points {
+		fmt.Printf("%4d %14d %14d %9.4f %10d %14v %9d\n",
+			p.B, p.IntraClusterComparisons, p.CrossClusterComparisons,
+			p.CrossIntraRatio, p.AdditionalClustersChecked,
+			p.ExecutionTime.Round(1e6), p.PressureEvents)
+	}
+}

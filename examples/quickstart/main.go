@@ -1,0 +1,143 @@
+// Quickstart: generate a small synthetic ADR corpus, train the Fast kNN
+// duplicate classifier on expert labels, and detect duplicates in a batch of
+// newly arrived reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adrdedup"
+	"adrdedup/internal/adr"
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+)
+
+func main() {
+	// 1. A synthetic corpus with known ground truth (the real TGA data is
+	// proprietary). 1,500 reports, 60 injected duplicate pairs.
+	corpus := adrgen.Generate(adrgen.Config{
+		NumReports: 1500, DuplicatePairs: 60, NumDrugs: 300, NumADRs: 500, Seed: 7,
+	})
+
+	// 2. A detector over a simulated 8-executor cluster. Theta is the
+	// Eq. 6 duplicate score threshold.
+	det, err := adrdedup.New(adrdedup.Options{
+		Cluster:    cluster.Config{Executors: 8},
+		Classifier: core.Config{K: 9, B: 16, C: 4, Theta: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load the "existing database": everything except the last 25
+	// reports, which play the part of a newly arrived batch.
+	cut := len(corpus.Reports) - 25
+	existing := stripSeq(corpus.Reports[:cut])
+	batch := stripSeq(corpus.Reports[cut:])
+	if err := det.AddKnownReports(existing); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Train from expert-labelled pairs: the ground-truth duplicates
+	// that live entirely in the database, plus sampled non-duplicates —
+	// including confusable same-campaign pairs, as a regulator's curated
+	// non-duplicate collection would.
+	labels := makeLabels(corpus, det, 3000)
+	if err := det.TrainFromLabeledCases(labels); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d labelled pairs\n", det.TrainingSize())
+
+	// 5. Detect: the batch is checked against the database and itself
+	// (Eq. 3), then absorbed.
+	matches, err := det.Detect(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dups := adrdedup.Duplicates(matches)
+	fmt.Printf("scored %d candidate pairs, flagged %d as duplicates\n", len(matches), len(dups))
+	for _, m := range dups {
+		truth := ""
+		if isTrue(corpus, m) {
+			truth = " (ground truth: duplicate)"
+		}
+		fmt.Printf("  %s ~ %s  score %.2f%s\n", m.CaseA, m.CaseB, m.Score, truth)
+	}
+
+	snap := det.Metrics()
+	fmt.Printf("engine: %d stages, %d records, %d pair comparisons, %.1fMB shuffled\n",
+		snap.StagesRun, snap.RecordsProcessed, snap.Comparisons,
+		float64(snap.ShuffleBytesWritten)/1e6)
+}
+
+func stripSeq(rs []adr.Report) []adr.Report {
+	out := make([]adr.Report, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].ArrivalSeq = 0
+	}
+	return out
+}
+
+// makeLabels builds the expert-labelled training pairs: all in-database
+// ground-truth duplicates plus sampled negatives (one third confusable
+// same-campaign pairs).
+func makeLabels(corpus *adrgen.Corpus, det *adrdedup.Detector, negatives int) []adrdedup.LabeledCasePair {
+	var out []adrdedup.LabeledCasePair
+	inDB := func(caseNum string) bool {
+		_, ok := det.Database().Get(caseNum)
+		return ok
+	}
+	for _, d := range corpus.Duplicates {
+		if inDB(d.CaseA) && inDB(d.CaseB) {
+			out = append(out, adrdedup.LabeledCasePair{CaseA: d.CaseA, CaseB: d.CaseB, Duplicate: true})
+		}
+	}
+	count := 0
+	byCampaign := make(map[int][]int)
+	for i, camp := range corpus.CampaignOf {
+		if camp >= 0 && inDB(corpus.Reports[i].CaseNumber) {
+			byCampaign[camp] = append(byCampaign[camp], i)
+		}
+	}
+	campIDs := make([]int, 0, len(byCampaign))
+	for id := range byCampaign {
+		campIDs = append(campIDs, id)
+	}
+	sort.Ints(campIDs)
+	for _, id := range campIDs {
+		members := byCampaign[id]
+		for i := 0; i+1 < len(members) && count < negatives/3; i++ {
+			a, b := members[i], members[i+1]
+			if corpus.IsDuplicatePair(a, b) {
+				continue
+			}
+			out = append(out, adrdedup.LabeledCasePair{
+				CaseA: corpus.Reports[a].CaseNumber, CaseB: corpus.Reports[b].CaseNumber,
+			})
+			count++
+		}
+	}
+	reports := det.Database().Reports()
+	for i := 0; i < len(reports)-7 && count < negatives; i += 2 {
+		a, b := reports[i], reports[i+7]
+		if corpus.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+			continue
+		}
+		out = append(out, adrdedup.LabeledCasePair{CaseA: a.CaseNumber, CaseB: b.CaseNumber})
+		count++
+	}
+	return out
+}
+
+func isTrue(corpus *adrgen.Corpus, m adrdedup.Match) bool {
+	for _, d := range corpus.Duplicates {
+		if (d.CaseA == m.CaseA && d.CaseB == m.CaseB) || (d.CaseA == m.CaseB && d.CaseB == m.CaseA) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+// Regulator intake: the paper's motivating scenario. A drug regulator's
+// database receives report batches continuously; each batch is checked for
+// duplicates against everything received so far (Eq. 3), absorbed, and the
+// confirmed duplicates feed back into the labelled training data (the dashed
+// line in the paper's Figure 1) before the classifier is retrained.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adrdedup"
+	"adrdedup/internal/adr"
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+)
+
+func main() {
+	corpus := adrgen.Generate(adrgen.Config{
+		NumReports: 2400, DuplicatePairs: 100, NumDrugs: 400, NumADRs: 600, Seed: 11,
+	})
+
+	det, err := adrdedup.New(adrdedup.Options{
+		Cluster:    cluster.Config{Executors: 12, CoresPerExecutor: 1},
+		Classifier: core.Config{K: 9, B: 20, C: 4, Theta: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap: the first 1,400 reports are the historical database; its
+	// duplicates were labelled by the regulator's officers.
+	const bootstrap = 1400
+	if err := det.AddKnownReports(strip(corpus.Reports[:bootstrap])); err != nil {
+		log.Fatal(err)
+	}
+	training := initialLabels(corpus, det, 4000)
+	if err := det.TrainFromLabeledCases(training); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: %d reports, %d labelled pairs\n", det.Database().Len(), det.TrainingSize())
+
+	// Intake: the remaining reports arrive in batches of 200 (roughly a
+	// fortnight of TGA volume).
+	const batchSize = 200
+	totalFlagged, totalTrue := 0, 0
+	for start := bootstrap; start < len(corpus.Reports); start += batchSize {
+		end := start + batchSize
+		if end > len(corpus.Reports) {
+			end = len(corpus.Reports)
+		}
+		batch := strip(corpus.Reports[start:end])
+		matches, err := det.Detect(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flagged := adrdedup.Duplicates(matches)
+		trueCount := 0
+		for _, m := range flagged {
+			if isTrue(corpus, m) {
+				trueCount++
+			}
+		}
+		totalFlagged += len(flagged)
+		totalTrue += trueCount
+		fmt.Printf("batch %4d-%4d: %6d pairs scored, %2d flagged (%d confirmed by officers)\n",
+			start, end, len(matches), len(flagged), trueCount)
+
+		// Feedback loop: officers confirm the flagged pairs; confirmed
+		// duplicates (and refuted ones as non-duplicates) join the
+		// labelled data and the classifier is retrained.
+		for _, m := range flagged {
+			training = append(training, adrdedup.LabeledCasePair{
+				CaseA: m.CaseA, CaseB: m.CaseB, Duplicate: isTrue(corpus, m),
+			})
+		}
+		if err := det.TrainFromLabeledCases(training); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\nintake complete: database %d reports, %d pairs flagged, %d true duplicates confirmed\n",
+		det.Database().Len(), totalFlagged, totalTrue)
+	snap := det.Metrics()
+	fmt.Printf("engine totals: %d stages, %d comparisons, %d task retries, virtual time %v\n",
+		snap.StagesRun, snap.Comparisons, snap.TaskFailures,
+		det.Engine().Cluster().VirtualElapsed().Round(1e6))
+}
+
+func strip(rs []adr.Report) []adr.Report {
+	out := make([]adr.Report, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].ArrivalSeq = 0
+	}
+	return out
+}
+
+func initialLabels(corpus *adrgen.Corpus, det *adrdedup.Detector, negatives int) []adrdedup.LabeledCasePair {
+	var out []adrdedup.LabeledCasePair
+	inDB := func(c string) bool { _, ok := det.Database().Get(c); return ok }
+	for _, d := range corpus.Duplicates {
+		if inDB(d.CaseA) && inDB(d.CaseB) {
+			out = append(out, adrdedup.LabeledCasePair{CaseA: d.CaseA, CaseB: d.CaseB, Duplicate: true})
+		}
+	}
+	count := 0
+	byCampaign := make(map[int][]int)
+	for i, camp := range corpus.CampaignOf {
+		if camp >= 0 && inDB(corpus.Reports[i].CaseNumber) {
+			byCampaign[camp] = append(byCampaign[camp], i)
+		}
+	}
+	campIDs := make([]int, 0, len(byCampaign))
+	for id := range byCampaign {
+		campIDs = append(campIDs, id)
+	}
+	sort.Ints(campIDs)
+	for _, id := range campIDs {
+		members := byCampaign[id]
+		for i := 0; i+1 < len(members) && count < negatives/3; i++ {
+			if corpus.IsDuplicatePair(members[i], members[i+1]) {
+				continue
+			}
+			out = append(out, adrdedup.LabeledCasePair{
+				CaseA: corpus.Reports[members[i]].CaseNumber,
+				CaseB: corpus.Reports[members[i+1]].CaseNumber,
+			})
+			count++
+		}
+	}
+	reports := det.Database().Reports()
+	for i := 0; i < len(reports)-11 && count < negatives; i++ {
+		a, b := reports[i], reports[i+11]
+		if corpus.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+			continue
+		}
+		out = append(out, adrdedup.LabeledCasePair{CaseA: a.CaseNumber, CaseB: b.CaseNumber})
+		count++
+	}
+	return out
+}
+
+func isTrue(corpus *adrgen.Corpus, m adrdedup.Match) bool {
+	for _, d := range corpus.Duplicates {
+		if (d.CaseA == m.CaseA && d.CaseB == m.CaseB) || (d.CaseA == m.CaseB && d.CaseB == m.CaseA) {
+			return true
+		}
+	}
+	return false
+}

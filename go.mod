@@ -1,0 +1,3 @@
+module adrdedup
+
+go 1.22

@@ -1,0 +1,222 @@
+package adr
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample(caseNum string) Report {
+	return Report{
+		CaseNumber:          caseNum,
+		ReportDate:          "2013-10-02",
+		CalculatedAge:       46,
+		Sex:                 "M",
+		ResidentialState:    "NSW",
+		OnsetDate:           "30/04/2013 00:00:00",
+		ReactionOutcomeDesc: "Recovered",
+		GenericNameDesc:     "Atorvastatin",
+		MedDRAPTName:        "Rhabdomyolysis",
+		MedDRAPTCode:        "PT0001",
+		ReportDescription:   "The 46-year-old male subject started treatment with atorvastatin.",
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if len(s) != NumFields {
+		t.Fatalf("schema has %d fields, want %d", len(s), NumFields)
+	}
+	selected := 0
+	groups := make(map[string]int)
+	for _, f := range s {
+		if f.Selected {
+			selected++
+		}
+		groups[f.Group]++
+	}
+	if selected != 7 {
+		t.Errorf("selected fields = %d, want 7 (age, sex, state, onset, PT code, generic name, description)", selected)
+	}
+	wantGroups := map[string]int{
+		"Case Details": 2, "Patient Details": 5, "Reaction Information": 14,
+		"Medicine Information": 14, "Reporter Details": 2,
+	}
+	if !reflect.DeepEqual(groups, wantGroups) {
+		t.Errorf("groups = %v, want %v", groups, wantGroups)
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	cases := map[FieldType]string{
+		Numerical: "numerical", Categorical: "categorical",
+		String: "string", Text: "text", FieldType(99): "unknown",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func TestDatabaseAddAndOrder(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(sample("A"), sample("B"), sample("C")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	reports := db.Reports()
+	for i, r := range reports {
+		if r.ArrivalSeq != i {
+			t.Errorf("report %d has ArrivalSeq %d", i, r.ArrivalSeq)
+		}
+	}
+	got, ok := db.Get("B")
+	if !ok || got.ArrivalSeq != 1 {
+		t.Errorf("Get(B) = %+v, %v", got, ok)
+	}
+	if _, ok := db.Get("missing"); ok {
+		t.Error("Get of missing case should fail")
+	}
+}
+
+func TestDatabaseRejectsDuplicatesAndEmptyCase(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(sample("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(sample("A")); err == nil {
+		t.Error("expected error on duplicate case number")
+	}
+	if err := db.Add(Report{}); err == nil {
+		t.Error("expected error on empty case number")
+	}
+}
+
+func TestDatabaseBefore(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(sample("A"), sample("B"), sample("C")); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Before(2); len(got) != 2 || got[1].CaseNumber != "B" {
+		t.Errorf("Before(2) = %v", got)
+	}
+	if got := db.Before(10); len(got) != 3 {
+		t.Errorf("Before(10) len = %d", len(got))
+	}
+	if got := db.Before(-1); len(got) != 0 {
+		t.Errorf("Before(-1) len = %d", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := NewDatabase()
+	a := sample("A")
+	a.GenericNameDesc = "Influenza Vaccine,Dtpa Vaccine"
+	a.MedDRAPTName = "Vomiting,Pyrexia,Cough"
+	a.ReportDate = "2013-07-01"
+	b := sample("B")
+	b.GenericNameDesc = "Atorvastatin"
+	b.MedDRAPTName = "Rhabdomyolysis,Cough"
+	b.ReportDate = "2013-12-31"
+	if err := db.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Summarize()
+	if s.NumCases != 2 || s.NumFields != 37 {
+		t.Errorf("cases/fields = %d/%d", s.NumCases, s.NumFields)
+	}
+	if s.UniqueDrugs != 3 {
+		t.Errorf("unique drugs = %d, want 3", s.UniqueDrugs)
+	}
+	if s.UniqueADRs != 4 {
+		t.Errorf("unique ADRs = %d, want 4", s.UniqueADRs)
+	}
+	if s.ReportPeriod != "2013-07-01 - 2013-12-31" {
+		t.Errorf("period = %q", s.ReportPeriod)
+	}
+}
+
+func TestSplitMulti(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"A", []string{"A"}},
+		{"A,B", []string{"A", "B"}},
+		{"A, B ,C", []string{"A", "B", "C"}},
+		{",,A,,", []string{"A"}},
+	}
+	for _, c := range cases {
+		if got := SplitMulti(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitMulti(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Report{sample("A"), sample("B")}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Error("JSON round trip changed reports")
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for invalid JSON")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := []Report{sample("A"), sample("B")}
+	// The description includes a comma to exercise CSV quoting.
+	in[0].ReportDescription = "cough, then choking; called ambulance"
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if out[0].ReportDescription != in[0].ReportDescription {
+		t.Errorf("description mangled: %q", out[0].ReportDescription)
+	}
+	if out[1].CalculatedAge != 46 || out[1].MedDRAPTCode != "PT0001" {
+		t.Errorf("row 2 = %+v", out[1])
+	}
+}
+
+func TestCSVRejectsBadHeaderAndAge(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("wrong,header\n")); err == nil {
+		t.Error("expected error for wrong header")
+	}
+	bad := strings.Join(csvHeader, ",") + "\nA,2013,notanage,M,NSW,x,y,z,w,v,desc\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("expected error for non-numeric age")
+	}
+}
+
+func TestFormatOnsetDate(t *testing.T) {
+	// Table 1 shows "30/04/2013 00:00:00".
+	got := FormatOnsetDate(time.Date(2013, 4, 30, 0, 0, 0, 0, time.UTC))
+	if got != "30/04/2013 00:00:00" {
+		t.Errorf("FormatOnsetDate = %q", got)
+	}
+}

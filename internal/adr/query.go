@@ -1,0 +1,65 @@
+package adr
+
+import "strings"
+
+// FindByDrug returns the reports whose generic-name field contains the
+// given drug (case-insensitive exact term match within the comma-separated
+// list), in arrival order. Disproportionality analyses and candidate
+// blocking both start from per-drug report sets.
+func (d *Database) FindByDrug(drug string) []Report {
+	return d.filter(func(r Report) bool {
+		return containsTerm(r.GenericNameDesc, drug)
+	})
+}
+
+// FindByADR returns the reports whose MedDRA PT list contains the given
+// reaction term (case-insensitive), in arrival order.
+func (d *Database) FindByADR(term string) []Report {
+	return d.filter(func(r Report) bool {
+		return containsTerm(r.MedDRAPTName, term)
+	})
+}
+
+// FindByReportDateRange returns the reports whose report date lies within
+// [from, to] (inclusive, ISO "2006-01-02" strings, lexicographic compare),
+// in arrival order.
+func (d *Database) FindByReportDateRange(from, to string) []Report {
+	return d.filter(func(r Report) bool {
+		return r.ReportDate >= from && r.ReportDate <= to
+	})
+}
+
+// DrugReactionCounts returns, for the given drug, how many of its reports
+// mention each reaction term — the contingency row that disproportionality
+// methods (PRR; the paper's §1 motivation) consume.
+func (d *Database) DrugReactionCounts(drug string) map[string]int {
+	out := make(map[string]int)
+	for _, r := range d.FindByDrug(drug) {
+		for _, term := range SplitMulti(r.MedDRAPTName) {
+			out[term]++
+		}
+	}
+	return out
+}
+
+func (d *Database) filter(keep func(Report) bool) []Report {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Report
+	for _, r := range d.reports {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func containsTerm(csv, term string) bool {
+	term = strings.TrimSpace(term)
+	for _, v := range SplitMulti(csv) {
+		if strings.EqualFold(v, term) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package adr
+
+import "testing"
+
+func queryDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	a := sample("A")
+	a.GenericNameDesc = "Atorvastatin"
+	a.MedDRAPTName = "Rhabdomyolysis,Myalgia"
+	a.ReportDate = "2013-08-01"
+	b := sample("B")
+	b.GenericNameDesc = "Influenza Vaccine,Dtpa Vaccine"
+	b.MedDRAPTName = "Cough,Headache"
+	b.ReportDate = "2013-10-15"
+	c := sample("C")
+	c.GenericNameDesc = "Atorvastatin,Omeprazole"
+	c.MedDRAPTName = "Myalgia"
+	c.ReportDate = "2013-12-01"
+	if err := db.Add(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFindByDrug(t *testing.T) {
+	db := queryDB(t)
+	got := db.FindByDrug("atorvastatin") // case-insensitive
+	if len(got) != 2 || got[0].CaseNumber != "A" || got[1].CaseNumber != "C" {
+		t.Errorf("FindByDrug = %v", caseNumbers(got))
+	}
+	if got := db.FindByDrug("Dtpa Vaccine"); len(got) != 1 || got[0].CaseNumber != "B" {
+		t.Errorf("multi-valued match = %v", caseNumbers(got))
+	}
+	if got := db.FindByDrug("Ator"); got != nil {
+		t.Errorf("substring must not match: %v", caseNumbers(got))
+	}
+}
+
+func TestFindByADR(t *testing.T) {
+	db := queryDB(t)
+	got := db.FindByADR("myalgia")
+	if len(got) != 2 {
+		t.Errorf("FindByADR = %v", caseNumbers(got))
+	}
+	if got := db.FindByADR("Vertigo"); got != nil {
+		t.Errorf("absent term matched: %v", caseNumbers(got))
+	}
+}
+
+func TestFindByReportDateRange(t *testing.T) {
+	db := queryDB(t)
+	got := db.FindByReportDateRange("2013-09-01", "2013-12-31")
+	if len(got) != 2 || got[0].CaseNumber != "B" {
+		t.Errorf("range = %v", caseNumbers(got))
+	}
+	if got := db.FindByReportDateRange("2014-01-01", "2014-06-30"); got != nil {
+		t.Errorf("empty range returned %v", caseNumbers(got))
+	}
+}
+
+func TestDrugReactionCounts(t *testing.T) {
+	db := queryDB(t)
+	counts := db.DrugReactionCounts("Atorvastatin")
+	if counts["Myalgia"] != 2 || counts["Rhabdomyolysis"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if len(counts) != 2 {
+		t.Errorf("unexpected terms: %v", counts)
+	}
+}
+
+func caseNumbers(rs []Report) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.CaseNumber
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package adr models adverse drug reaction (ADR) reports with the TGA schema
+// the paper works with (Table 2): 37 fields across case, patient, reaction,
+// medicine, and reporter groups. It also provides the report database
+// abstraction of §3 — an arrival-ordered store that new report batches are
+// checked against — plus JSON and CSV codecs.
+package adr
+
+import "time"
+
+// Report is one adverse drug reaction report. Multi-valued fields (drug
+// names, ADR terms) hold comma-separated lists, as in the TGA extract the
+// paper shows in Table 1 ("Influenza Vaccine,Dtpa Vaccine").
+type Report struct {
+	// Case Details.
+	CaseNumber string `json:"caseNumber"`
+	ReportDate string `json:"reportDate"`
+
+	// Patient Details.
+	CalculatedAge    int    `json:"calculatedAge"`
+	Sex              string `json:"sex"`
+	WeightCode       string `json:"weightCode"`
+	EthnicityCode    string `json:"ethnicityCode"`
+	ResidentialState string `json:"residentialState"`
+
+	// Reaction Information.
+	OnsetDate           string `json:"onsetDate"`
+	DateOfOutcome       string `json:"dateOfOutcome"`
+	ReactionOutcomeCode string `json:"reactionOutcomeCode"`
+	ReactionOutcomeDesc string `json:"reactionOutcomeDesc"`
+	SeverityCode        string `json:"severityCode"`
+	SeverityDesc        string `json:"severityDesc"`
+	ReportDescription   string `json:"reportDescription"`
+	TreatmentText       string `json:"treatmentText"`
+	HospitalisationCode string `json:"hospitalisationCode"`
+	HospitalisationDesc string `json:"hospitalisationDesc"`
+	MedDRALLTCode       string `json:"meddraLLTCode"`
+	MedDRALLTName       string `json:"meddraLLTName"`
+	MedDRAPTCode        string `json:"meddraPTCode"`
+	MedDRAPTName        string `json:"meddraPTName"`
+
+	// Medicine Information.
+	SuspectCode        string `json:"suspectCode"`
+	SuspectDesc        string `json:"suspectDesc"`
+	TradeNameCode      string `json:"tradeNameCode"`
+	TradeNameDesc      string `json:"tradeNameDesc"`
+	GenericNameCode    string `json:"genericNameCode"`
+	GenericNameDesc    string `json:"genericNameDesc"`
+	DosageAmount       string `json:"dosageAmount"`
+	UnitProportionCode string `json:"unitProportionCode"`
+	DosageFormCode     string `json:"dosageFormCode"`
+	DosageFormDesc     string `json:"dosageFormDesc"`
+	RouteOfAdminCode   string `json:"routeOfAdminCode"`
+	RouteOfAdminDesc   string `json:"routeOfAdminDesc"`
+	DosageStartDate    string `json:"dosageStartDate"`
+	DosageHaltDate     string `json:"dosageHaltDate"`
+
+	// Reporter Details.
+	ReporterType   string `json:"reporterType"`
+	ReportTypeDesc string `json:"reportTypeDesc"`
+
+	// ArrivalSeq orders reports by arrival in the database (§3: later
+	// arrivals are checked against earlier ones). It is assigned by the
+	// Database, not part of the TGA schema.
+	ArrivalSeq int `json:"arrivalSeq"`
+}
+
+// FieldType classifies a schema field for distance computation (§4.2).
+type FieldType int
+
+const (
+	// Numerical fields compare by exact value (distance 0 or 1 in the
+	// paper's scheme).
+	Numerical FieldType = iota
+	// Categorical fields compare by exact value.
+	Categorical
+	// String fields compare by Jaccard over their token sets.
+	String
+	// Text fields are long free text, tokenized, stop-worded, and stemmed
+	// before Jaccard comparison.
+	Text
+)
+
+func (t FieldType) String() string {
+	switch t {
+	case Numerical:
+		return "numerical"
+	case Categorical:
+		return "categorical"
+	case String:
+		return "string"
+	case Text:
+		return "text"
+	default:
+		return "unknown"
+	}
+}
+
+// FieldInfo describes one schema field.
+type FieldInfo struct {
+	Name     string
+	Group    string
+	Type     FieldType
+	Selected bool // bold in Table 2: used for duplicate detection
+}
+
+// Schema lists the 37 TGA report fields of Table 2 in order, marking the
+// seven fields the paper's duplicate detection method uses.
+func Schema() []FieldInfo {
+	return []FieldInfo{
+		{"case number", "Case Details", String, false},
+		{"report date", "Case Details", Categorical, false},
+		{"calculated age", "Patient Details", Numerical, true},
+		{"sex", "Patient Details", Categorical, true},
+		{"weight code", "Patient Details", Categorical, false},
+		{"ethnicity code", "Patient Details", Categorical, false},
+		{"residential state", "Patient Details", Categorical, true},
+		{"onset date", "Reaction Information", Categorical, true},
+		{"date of outcome", "Reaction Information", Categorical, false},
+		{"reaction outcome code", "Reaction Information", Categorical, false},
+		{"reaction outcome description", "Reaction Information", String, false},
+		{"severity code", "Reaction Information", Categorical, false},
+		{"severity description", "Reaction Information", String, false},
+		{"report description", "Reaction Information", Text, true},
+		{"treatment text", "Reaction Information", Text, false},
+		{"hospitalisation code", "Reaction Information", Categorical, false},
+		{"hospitalisation description", "Reaction Information", String, false},
+		{"MedDRA LLT code", "Reaction Information", String, false},
+		{"LLT name", "Reaction Information", String, false},
+		{"MedDRA PT code", "Reaction Information", String, true},
+		{"PT name", "Reaction Information", String, false},
+		{"suspect code", "Medicine Information", Categorical, false},
+		{"suspect description", "Medicine Information", String, false},
+		{"trade name code", "Medicine Information", String, false},
+		{"trade name description", "Medicine Information", String, false},
+		{"generic name code", "Medicine Information", String, false},
+		{"generic name description", "Medicine Information", String, true},
+		{"dosage amount", "Medicine Information", Categorical, false},
+		{"unit proportion code", "Medicine Information", Categorical, false},
+		{"dosage form code", "Medicine Information", Categorical, false},
+		{"dosage form description", "Medicine Information", String, false},
+		{"route of administration code", "Medicine Information", Categorical, false},
+		{"route of administration description", "Medicine Information", String, false},
+		{"dosage start date", "Medicine Information", Categorical, false},
+		{"dosage halt date", "Medicine Information", Categorical, false},
+		{"reporter type", "Reporter Details", Categorical, false},
+		{"report type description", "Reporter Details", String, false},
+	}
+}
+
+// NumFields is the TGA schema width the paper reports in Table 3.
+const NumFields = 37
+
+// DateLayout is the timestamp format TGA extracts use for onset dates
+// ("30/04/2013 00:00:00" in Table 1).
+const DateLayout = "02/01/2006 15:04:05"
+
+// FormatOnsetDate renders t in the TGA onset-date format.
+func FormatOnsetDate(t time.Time) string {
+	return t.Format(DateLayout)
+}

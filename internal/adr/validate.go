@@ -1,0 +1,68 @@
+package adr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ValidationIssue describes one problem found in a report. Issues are
+// warnings, not fatal: real SRS feeds are full of partial records, and the
+// duplicate detection pipeline is designed to tolerate them — but regulators
+// want them surfaced.
+type ValidationIssue struct {
+	Field   string
+	Message string
+}
+
+func (v ValidationIssue) String() string {
+	return fmt.Sprintf("%s: %s", v.Field, v.Message)
+}
+
+// missingMarkers are the values TGA extracts use for absent data.
+var missingMarkers = map[string]bool{"": true, "-": true, "Not Known": true, "Unknown": true}
+
+// IsMissing reports whether a field value denotes absent data.
+func IsMissing(v string) bool { return missingMarkers[strings.TrimSpace(v)] }
+
+// Validate checks a report for structural problems: a missing case number
+// (fatal for storage), out-of-range ages, malformed onset dates, empty
+// selected fields. It returns the issues found; an empty slice means the
+// report is clean.
+func Validate(r Report) []ValidationIssue {
+	var issues []ValidationIssue
+	add := func(field, format string, args ...any) {
+		issues = append(issues, ValidationIssue{Field: field, Message: fmt.Sprintf(format, args...)})
+	}
+	if strings.TrimSpace(r.CaseNumber) == "" {
+		add("case number", "missing")
+	}
+	if r.CalculatedAge < 0 || r.CalculatedAge > 130 {
+		add("calculated age", "implausible value %d", r.CalculatedAge)
+	}
+	switch r.Sex {
+	case "M", "F", "U", "":
+	default:
+		add("sex", "unrecognized code %q", r.Sex)
+	}
+	if !IsMissing(r.OnsetDate) {
+		if _, err := time.Parse(DateLayout, r.OnsetDate); err != nil {
+			add("onset date", "not in TGA format %q: %q", DateLayout, r.OnsetDate)
+		}
+	}
+	if IsMissing(r.GenericNameDesc) {
+		add("generic name description", "missing; drug matching degraded")
+	}
+	if IsMissing(r.MedDRAPTName) {
+		add("MedDRA PT name", "missing; reaction matching degraded")
+	}
+	if len(r.ReportDescription) > 0 && len(r.ReportDescription) < 20 {
+		add("report description", "suspiciously short (%d chars)", len(r.ReportDescription))
+	}
+	names := SplitMulti(r.MedDRAPTName)
+	codes := SplitMulti(r.MedDRAPTCode)
+	if len(names) > 0 && len(codes) > 0 && len(names) != len(codes) {
+		add("MedDRA PT code", "%d codes for %d terms", len(codes), len(names))
+	}
+	return issues
+}

@@ -1,0 +1,130 @@
+package adr
+
+import (
+	"strings"
+	"testing"
+)
+
+func validReport() Report {
+	r := sample("OK-1")
+	return r
+}
+
+func issuesFor(t *testing.T, r Report, field string) []ValidationIssue {
+	t.Helper()
+	var hits []ValidationIssue
+	for _, i := range Validate(r) {
+		if i.Field == field {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+func TestValidateCleanReport(t *testing.T) {
+	if issues := Validate(validReport()); len(issues) != 0 {
+		t.Errorf("clean report has issues: %v", issues)
+	}
+}
+
+func TestValidateMissingCaseNumber(t *testing.T) {
+	r := validReport()
+	r.CaseNumber = "  "
+	if len(issuesFor(t, r, "case number")) == 0 {
+		t.Error("missing case number not flagged")
+	}
+}
+
+func TestValidateAgeRange(t *testing.T) {
+	for _, age := range []int{-1, 131, 999} {
+		r := validReport()
+		r.CalculatedAge = age
+		if len(issuesFor(t, r, "calculated age")) == 0 {
+			t.Errorf("age %d not flagged", age)
+		}
+	}
+	r := validReport()
+	r.CalculatedAge = 0 // newborns are valid
+	if len(issuesFor(t, r, "calculated age")) != 0 {
+		t.Error("age 0 wrongly flagged")
+	}
+}
+
+func TestValidateSexCodes(t *testing.T) {
+	r := validReport()
+	r.Sex = "X"
+	if len(issuesFor(t, r, "sex")) == 0 {
+		t.Error("bad sex code not flagged")
+	}
+	for _, ok := range []string{"M", "F", "U", ""} {
+		r.Sex = ok
+		if len(issuesFor(t, r, "sex")) != 0 {
+			t.Errorf("sex %q wrongly flagged", ok)
+		}
+	}
+}
+
+func TestValidateOnsetDate(t *testing.T) {
+	r := validReport()
+	r.OnsetDate = "April 30th 2013"
+	if len(issuesFor(t, r, "onset date")) == 0 {
+		t.Error("malformed onset date not flagged")
+	}
+	for _, ok := range []string{"-", "", "Not Known", "30/04/2013 00:00:00"} {
+		r.OnsetDate = ok
+		if len(issuesFor(t, r, "onset date")) != 0 {
+			t.Errorf("onset %q wrongly flagged", ok)
+		}
+	}
+}
+
+func TestValidateMissingSelectedFields(t *testing.T) {
+	r := validReport()
+	r.GenericNameDesc = "-"
+	r.MedDRAPTName = ""
+	if len(issuesFor(t, r, "generic name description")) == 0 {
+		t.Error("missing drug not flagged")
+	}
+	if len(issuesFor(t, r, "MedDRA PT name")) == 0 {
+		t.Error("missing ADR not flagged")
+	}
+}
+
+func TestValidateShortDescription(t *testing.T) {
+	r := validReport()
+	r.ReportDescription = "bad"
+	if len(issuesFor(t, r, "report description")) == 0 {
+		t.Error("short description not flagged")
+	}
+	r.ReportDescription = "" // absent is allowed (handled as missing data)
+	if len(issuesFor(t, r, "report description")) != 0 {
+		t.Error("empty description wrongly flagged")
+	}
+}
+
+func TestValidateCodeTermMismatch(t *testing.T) {
+	r := validReport()
+	r.MedDRAPTName = "Cough,Headache"
+	r.MedDRAPTCode = "PT000001"
+	if len(issuesFor(t, r, "MedDRA PT code")) == 0 {
+		t.Error("code/term count mismatch not flagged")
+	}
+}
+
+func TestIsMissing(t *testing.T) {
+	for _, v := range []string{"", "-", "Not Known", "Unknown", "  -  "} {
+		if !IsMissing(v) {
+			t.Errorf("IsMissing(%q) = false", v)
+		}
+	}
+	if IsMissing("Atorvastatin") {
+		t.Error("real value reported missing")
+	}
+}
+
+func TestValidationIssueString(t *testing.T) {
+	s := ValidationIssue{Field: "sex", Message: "bad"}.String()
+	if !strings.Contains(s, "sex") || !strings.Contains(s, "bad") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,43 @@
+package adrgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// GroundTruthRecord is the serialized form of one known duplicate pair, as
+// a regulator's officers would record it (by case number).
+type GroundTruthRecord struct {
+	CaseA string `json:"caseA"`
+	CaseB string `json:"caseB"`
+	Mode  string `json:"mode"`
+}
+
+// WriteGroundTruth serializes the corpus's duplicate ground truth as JSON.
+func WriteGroundTruth(w io.Writer, duplicates []DuplicatePair) error {
+	records := make([]GroundTruthRecord, len(duplicates))
+	for i, d := range duplicates {
+		records[i] = GroundTruthRecord{CaseA: d.CaseA, CaseB: d.CaseB, Mode: d.Mode.String()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// ReadGroundTruth parses ground truth previously written by
+// WriteGroundTruth. Only case numbers and modes survive the round trip;
+// corpus indices are not serialized (they are meaningless outside the
+// generating process).
+func ReadGroundTruth(r io.Reader) ([]GroundTruthRecord, error) {
+	var out []GroundTruthRecord
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("adrgen: decoding ground truth: %w", err)
+	}
+	for i, rec := range out {
+		if rec.CaseA == "" || rec.CaseB == "" {
+			return nil, fmt.Errorf("adrgen: ground truth record %d missing case numbers", i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package adrgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGroundTruthRoundTrip(t *testing.T) {
+	c := Generate(Config{NumReports: 200, DuplicatePairs: 15, NumDrugs: 40, NumADRs: 60, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteGroundTruth(&buf, c.Duplicates); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGroundTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i, rec := range got {
+		d := c.Duplicates[i]
+		if rec.CaseA != d.CaseA || rec.CaseB != d.CaseB || rec.Mode != d.Mode.String() {
+			t.Errorf("record %d = %+v, want %+v", i, rec, d)
+		}
+	}
+}
+
+func TestReadGroundTruthRejectsBadInput(t *testing.T) {
+	if _, err := ReadGroundTruth(strings.NewReader("{oops")); err == nil {
+		t.Error("invalid JSON must error")
+	}
+	if _, err := ReadGroundTruth(strings.NewReader(`[{"caseA":"","caseB":"x"}]`)); err == nil {
+		t.Error("missing case number must error")
+	}
+}

@@ -1,0 +1,160 @@
+// Package adrgen generates synthetic adverse drug reaction corpora with the
+// statistical profile of the TGA dataset the paper evaluates on (Table 3:
+// 10,382 reports over six months, 1,366 unique drugs, 2,351 unique ADR
+// terms, 286 labelled duplicate pairs) and duplicate-pair noise modelled on
+// the discrepancies of Table 1 (differing outcome descriptions, age
+// transposition errors, reordered/partial ADR lists, paraphrased report
+// descriptions, follow-up reports). The real TGA extract is proprietary;
+// this generator is the substitution documented in DESIGN.md.
+package adrgen
+
+import "fmt"
+
+// realDrugs seeds the drug lexicon with names that appear in the paper or
+// are common in pharmacovigilance data, so generated reports read
+// plausibly.
+var realDrugs = []string{
+	"Atorvastatin", "Influenza Vaccine", "Dtpa Vaccine", "Simvastatin",
+	"Amoxicillin", "Paracetamol", "Ibuprofen", "Warfarin", "Metformin",
+	"Omeprazole", "Salbutamol", "Prednisolone", "Ramipril", "Clopidogrel",
+	"Ceftriaxone", "Azithromycin", "Diclofenac", "Enalapril", "Furosemide",
+	"Gabapentin",
+}
+
+// realADRs seeds the reaction lexicon with MedDRA-style preferred terms,
+// including every term used in the paper's Table 1 examples.
+var realADRs = []string{
+	"Rhabdomyolysis", "Vomiting", "Pyrexia", "Cough", "Headache",
+	"Choking sensation", "Chills", "Myalgia", "Nausea", "Dizziness",
+	"Rash", "Pruritus", "Urticaria", "Anaphylactic reaction", "Diarrhoea",
+	"Fatigue", "Dyspnoea", "Syncope", "Injection site pain", "Arthralgia",
+}
+
+var drugPrefixes = []string{
+	"Ator", "Simva", "Rosu", "Prava", "Fluva", "Cef", "Amoxi", "Clari",
+	"Azi", "Doxy", "Line", "Vanco", "Genta", "Tobra", "Strepto", "Erythro",
+	"Oxy", "Hydro", "Chlor", "Fluo", "Brom", "Iodo", "Nitro", "Sulfa",
+	"Keto", "Ibu", "Napro", "Indo", "Pira", "Levo", "Dextro", "Meta",
+	"Para", "Orto", "Cyclo", "Benz", "Phen", "Tolu", "Xylo", "Quin",
+	"Riva", "Dabi", "Apix", "Edox", "Fonda", "Hepa", "Warfa", "Acen",
+	"Tica", "Prasu", "Clopi", "Dipy", "Cilo", "Pento", "Theo", "Amino",
+}
+
+var drugSuffixes = []string{
+	"statin", "cillin", "mycin", "cycline", "floxacin", "azole", "prazole",
+	"sartan", "pril", "olol", "dipine", "semide", "thiazide", "gliptin",
+	"formin", "glitazone", "parin", "xaban", "gatran", "grel", "profen",
+	"coxib", "triptan", "setron", "pitant", "mab", "nib", "ciclib",
+}
+
+var vaccineKinds = []string{
+	"Influenza", "Dtpa", "Measles", "Mumps", "Rubella", "Varicella",
+	"Hepatitis A", "Hepatitis B", "Pneumococcal", "Meningococcal",
+	"Rotavirus", "Zoster", "Typhoid", "Yellow Fever", "Rabies", "Polio",
+}
+
+var adrQualifiers = []string{
+	"Acute", "Chronic", "Severe", "Mild", "Transient", "Recurrent",
+	"Persistent", "Generalised", "Localised", "Intermittent", "Progressive",
+	"Drug-induced", "Allergic", "Toxic", "Idiopathic", "Secondary",
+	"Peripheral", "Central", "Bilateral", "Unilateral", "Postural",
+	"Nocturnal", "Exertional", "Febrile", "Haemorrhagic", "Ischaemic",
+	"Necrotising", "Atypical", "Fulminant", "Subacute", "Refractory",
+	"Paroxysmal", "Vasovagal", "Neuropathic", "Psychogenic", "Metabolic",
+	"Autoimmune", "Infective", "Inflammatory", "Degenerative",
+}
+
+var adrConditions = []string{
+	"dermatitis", "hepatitis", "nephritis", "gastritis", "colitis",
+	"pancreatitis", "myocarditis", "pericarditis", "pneumonitis",
+	"vasculitis", "neuritis", "arthritis", "myopathy", "neuropathy",
+	"encephalopathy", "cardiomyopathy", "nephropathy", "retinopathy",
+	"anaemia", "thrombocytopenia", "neutropenia", "leukopenia",
+	"hyperkalaemia", "hypokalaemia", "hyponatraemia", "hypoglycaemia",
+	"hyperglycaemia", "hypotension", "hypertension", "bradycardia",
+	"tachycardia", "arrhythmia", "fibrillation", "oedema", "erythema",
+	"alopecia", "paraesthesia", "dyskinesia", "dystonia", "tremor",
+	"seizure", "confusion", "insomnia", "somnolence", "depression",
+	"agitation", "hallucination", "tinnitus", "vertigo", "blurred vision",
+	"dysphagia", "dyspepsia", "constipation", "flatulence", "stomatitis",
+	"epistaxis", "haematuria", "proteinuria", "jaundice", "pallor",
+}
+
+// DrugLexicon returns n unique drug names: the seeded real names first,
+// then vaccines, then combinatorial generic names.
+func DrugLexicon(n int) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	add := func(name string) bool {
+		if len(out) >= n {
+			return false
+		}
+		if _, dup := seen[name]; dup {
+			return true
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+		return true
+	}
+	for _, d := range realDrugs {
+		add(d)
+	}
+	for _, v := range vaccineKinds {
+		add(v + " Vaccine")
+	}
+	for _, suf := range drugSuffixes {
+		for _, pre := range drugPrefixes {
+			if !add(pre + suf) {
+				return out
+			}
+		}
+	}
+	// Combinatorial space exhausted (56x28 = 1568 plus seeds); number the
+	// remainder if a caller asks for more.
+	for i := 0; len(out) < n; i++ {
+		add(fmt.Sprintf("Investigational Agent %04d", i))
+	}
+	return out
+}
+
+// ADRLexicon returns n unique MedDRA-style preferred terms: the seeded real
+// terms first, then qualifier x condition combinations.
+func ADRLexicon(n int) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	add := func(name string) bool {
+		if len(out) >= n {
+			return false
+		}
+		if _, dup := seen[name]; dup {
+			return true
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+		return true
+	}
+	for _, a := range realADRs {
+		add(a)
+	}
+	for _, cond := range adrConditions {
+		for _, q := range adrQualifiers {
+			if !add(q + " " + cond) {
+				return out
+			}
+		}
+	}
+	for i := 0; len(out) < n; i++ {
+		add(fmt.Sprintf("Unclassified reaction %04d", i))
+	}
+	return out
+}
+
+// States are Australian jurisdictions plus the missing-data markers seen in
+// Table 1 ("Not Known", "-").
+var States = []string{"NSW", "VIC", "QLD", "WA", "SA", "TAS", "ACT", "NT", "Not Known", "-"}
+
+// Outcomes are reaction outcome descriptions, including the Table 1 values.
+var Outcomes = []string{"Recovered", "Unknown", "Not Recovered", "Recovering", "Fatal", "Recovered With Sequelae"}
+
+// ReporterTypes are the submission channels §1 describes.
+var ReporterTypes = []string{"General Practitioner", "Pharmacist", "Hospital", "Consumer", "Pharmaceutical Company", "Nurse"}

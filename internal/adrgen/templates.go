@@ -1,0 +1,93 @@
+package adrgen
+
+import (
+	"fmt"
+	"strings"
+
+	"adrdedup/internal/adr"
+)
+
+// numTemplates is the number of distinct narrative templates. Duplicate
+// pairs from different channels pick templates independently, so their
+// descriptions paraphrase the same facts — the Table 1 pattern the text
+// pipeline must see through.
+const numTemplates = 6
+
+func sexWord(sex string) string {
+	if sex == "F" {
+		return "female"
+	}
+	return "male"
+}
+
+func joinTerms(csv string, conj string) string {
+	parts := adr.SplitMulti(csv)
+	for i := range parts {
+		parts[i] = strings.ToLower(parts[i])
+	}
+	switch len(parts) {
+	case 0:
+		return "an unspecified reaction"
+	case 1:
+		return parts[0]
+	default:
+		return strings.Join(parts[:len(parts)-1], ", ") + " " + conj + " " + parts[len(parts)-1]
+	}
+}
+
+// describe renders the report's facts through one of the narrative
+// templates. Every template mentions the drug, the reactions, the age and
+// sex, and (when known) the onset date, so that paraphrases share content
+// words after stop-word removal and stemming; each template adds its own
+// boilerplate so raw strings differ substantially.
+func (g *generator) describe(r adr.Report, template int) string {
+	drug := joinTerms(r.GenericNameDesc, "and")
+	reactions := joinTerms(r.MedDRAPTName, "and")
+	sw := sexWord(r.Sex)
+	onset := r.OnsetDate
+	if onset == "-" || onset == "" {
+		onset = "an unknown date"
+	}
+	var b strings.Builder
+	switch template % numTemplates {
+	case 0:
+		fmt.Fprintf(&b, "Reference number %s is a literature report received on %s pertaining to a %d year-old %s patient who experienced %s while on %s for the treatment of unknown indication.",
+			r.CaseNumber, r.ReportDate, r.CalculatedAge, sw, reactions, drug)
+		fmt.Fprintf(&b, " The reporter considered the events possibly related to the suspect medicine. No further information was available at the time of reporting.")
+	case 1:
+		fmt.Fprintf(&b, "The %d-year-old %s subject started treatment with %s %s mg, start date and duration of therapy unknown.",
+			r.CalculatedAge, sw, drug, r.DosageAmount)
+		fmt.Fprintf(&b, " On %s the subject presented with %s and was assessed by the treating physician.", onset, reactions)
+		fmt.Fprintf(&b, " Outcome at the time of the report was recorded as %s.", strings.ToLower(r.ReactionOutcomeDesc))
+	case 2:
+		fmt.Fprintf(&b, "On %s, within hours of administration of %s, the subject, a %d year-old %s, experienced %s.",
+			onset, drug, r.CalculatedAge, sw, reactions)
+		fmt.Fprintf(&b, " Symptoms persisted and the subject sought medical attention. Concomitant medications were not reported. The case was assessed as %s.",
+			strings.ToLower(r.SeverityDesc))
+	case 3:
+		fmt.Fprintf(&b, "A %s report concerning a %d year-old %s patient treated with %s.",
+			strings.ToLower(r.ReporterType), r.CalculatedAge, sw, drug)
+		fmt.Fprintf(&b, " Following administration the patient developed %s with onset on %s.", reactions, onset)
+		fmt.Fprintf(&b, " The patient required review; hospitalisation status: %s. Causality was not formally assessed.",
+			strings.ToLower(r.HospitalisationDesc))
+	case 4:
+		fmt.Fprintf(&b, "This spontaneous case describes %s in a %d-year-old %s patient who received %s (%s mg, %s).",
+			reactions, r.CalculatedAge, sw, drug, r.DosageAmount, strings.ToLower(r.RouteOfAdminDesc))
+		fmt.Fprintf(&b, " Event onset was %s. At follow-up the outcome was %s. The report originated from a %s.",
+			onset, strings.ToLower(r.ReactionOutcomeDesc), strings.ToLower(r.ReporterType))
+	default:
+		fmt.Fprintf(&b, "In the afternoon of %s, the patient, %d years of age (%s), experienced %s for several hours after taking %s and had to seek assistance.",
+			onset, r.CalculatedAge, sw, reactions, drug)
+		fmt.Fprintf(&b, " She required observation before feeling better and did not attend hospital. Additional symptoms were reported subsequently.")
+	}
+	return b.String()
+}
+
+// extendDescription models a follow-up narrative: the original text plus an
+// update paragraph, possibly truncated at the front as data-entry systems
+// often do.
+func (g *generator) extendDescription(original string, r adr.Report) string {
+	update := fmt.Sprintf(" Follow-up received on %s: the patient's condition was reported as %s.",
+		r.ReportDate, strings.ToLower(r.ReactionOutcomeDesc))
+	return original + update
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockID identifies one cached RDD partition.
+type BlockID struct {
+	RDD       int
+	Partition int
+}
+
+// BlockStore is the cluster's in-memory partition cache, the analogue of
+// Spark's block manager with MEMORY_ONLY storage. Capacity is the sum of the
+// executors' memory budgets; when an insert would exceed it, least-recently
+// used blocks are evicted. Evicted partitions are recomputed from lineage by
+// the RDD layer on the next read (and the recomputation is counted).
+type BlockStore struct {
+	cluster  *Cluster
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	lru      *list.List // front = most recently used; holds *blockEntry
+	index    map[BlockID]*list.Element
+}
+
+type blockEntry struct {
+	id    BlockID
+	data  any
+	bytes int64
+}
+
+func newBlockStore(capacity int64, c *Cluster) *BlockStore {
+	return &BlockStore{
+		cluster:  c,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[BlockID]*list.Element),
+	}
+}
+
+// Get returns the cached partition and whether it was present, updating
+// recency on a hit.
+func (b *BlockStore) Get(id BlockID) (any, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.index[id]
+	if !ok {
+		b.cluster.metrics.BlockMisses.Add(1)
+		return nil, false
+	}
+	b.lru.MoveToFront(el)
+	b.cluster.metrics.BlockHits.Add(1)
+	return el.Value.(*blockEntry).data, true
+}
+
+// Put caches a partition. Blocks larger than the whole store are rejected
+// (the partition stays recompute-only). Existing entries are replaced.
+func (b *BlockStore) Put(id BlockID, data any, bytes int64) bool {
+	if bytes > b.capacity {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[id]; ok {
+		e := el.Value.(*blockEntry)
+		b.used += bytes - e.bytes
+		e.data = data
+		e.bytes = bytes
+		b.lru.MoveToFront(el)
+	} else {
+		e := &blockEntry{id: id, data: data, bytes: bytes}
+		b.index[id] = b.lru.PushFront(e)
+		b.used += bytes
+		b.cluster.metrics.BlocksCached.Add(1)
+	}
+	for b.used > b.capacity {
+		b.evictLocked()
+	}
+	return true
+}
+
+// evictLocked removes the least-recently-used block. Callers hold b.mu.
+func (b *BlockStore) evictLocked() {
+	el := b.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*blockEntry)
+	b.lru.Remove(el)
+	delete(b.index, e.id)
+	b.used -= e.bytes
+	b.cluster.metrics.BlockEvictions.Add(1)
+}
+
+// Remove drops a specific block if present (Unpersist support).
+func (b *BlockStore) Remove(id BlockID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[id]; ok {
+		e := el.Value.(*blockEntry)
+		b.lru.Remove(el)
+		delete(b.index, id)
+		b.used -= e.bytes
+	}
+}
+
+// DropAll clears the cache (test/benchmark hygiene between runs).
+func (b *BlockStore) DropAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lru.Init()
+	b.index = make(map[BlockID]*list.Element)
+	b.used = 0
+}
+
+// Used returns the bytes currently cached.
+func (b *BlockStore) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Capacity returns the store's byte capacity.
+func (b *BlockStore) Capacity() int64 { return b.capacity }
+
+// Len returns the number of cached blocks.
+func (b *BlockStore) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.index)
+}

@@ -1,0 +1,357 @@
+// Package cluster simulates a Spark-style compute cluster on a single
+// machine. It is the execution substrate underneath the RDD layer
+// (internal/rdd): it runs stages of tasks on a bounded worker pool, injects
+// and recovers from task failures, caches materialized partitions in a
+// memory-bounded block store, moves shuffle data between stages, and keeps a
+// *virtual clock* so that executor-scaling experiments (paper Figs. 8-10)
+// reproduce cluster behaviour independently of the host's core count.
+//
+// # Virtual time
+//
+// Every task measures its real single-threaded compute time and may add
+// virtual time for simulated I/O (shuffle reads, broadcasts). After a stage's
+// tasks have all really executed (in parallel, up to the host's cores), the
+// scheduler *list-schedules* the per-task virtual durations onto
+// Executors x CoresPerExecutor virtual slots in task order. The stage's
+// virtual makespan is the maximum slot finish time. Summed across stages this
+// yields the execution times reported by the experiment harness: a 5-executor
+// configuration and a 25-executor configuration run the same real
+// computation, but their virtual makespans differ exactly as the paper's
+// cluster wall-clock would.
+//
+// # Fault tolerance
+//
+// Each task attempt may be failed by the injector with probability
+// Config.FailureRate (deterministic per seed/stage/task/attempt). Failed
+// attempts discard their buffered shuffle output — like Spark, output commits
+// only on success — and are retried up to MaxTaskRetries times, charging the
+// wasted attempt's virtual time to the slot that ran it. Tasks whose declared
+// working set exceeds executor memory suffer a spill penalty and, when
+// PressureTimeouts is set, a simulated timeout failure on their first attempt
+// (reproducing the paper's observation for cluster numbers below 25).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Executors is the number of executor processes (paper: Spark executors).
+	Executors int
+	// CoresPerExecutor is the number of concurrent task slots per executor.
+	CoresPerExecutor int
+	// MemoryPerExecutorMB bounds both the block cache share and the task
+	// working-set pressure threshold of each executor.
+	MemoryPerExecutorMB int
+	// NetworkMBps is the simulated per-executor network bandwidth used to
+	// charge virtual time for shuffle reads and broadcasts.
+	NetworkMBps float64
+	// ShuffleLatencyMS is the fixed virtual latency charged per fetched
+	// shuffle block.
+	ShuffleLatencyMS float64
+	// SchedulerOverheadMS is the fixed virtual cost charged per stage, plus
+	// a per-executor coordination share (task dispatch, result pickup).
+	SchedulerOverheadMS float64
+	// FailureRate is the probability that any given task attempt fails.
+	FailureRate float64
+	// MaxTaskRetries bounds attempts per task (first run + retries).
+	MaxTaskRetries int
+	// SpillPenalty multiplies a task's virtual duration when its working
+	// set exceeds executor memory (simulated spill/GC thrash).
+	SpillPenalty float64
+	// PressureTimeouts injects a timeout failure on the first attempt of
+	// any task under memory pressure, as the paper reports for small
+	// cluster numbers.
+	PressureTimeouts bool
+	// Seed drives all stochastic behaviour (fault injection).
+	Seed int64
+	// RealParallelism caps worker goroutines; 0 means GOMAXPROCS.
+	RealParallelism int
+	// Scheduling selects the task-to-slot placement policy. The paper
+	// names executor load balancing as future work (§7); LPT implements
+	// it.
+	Scheduling SchedulePolicy
+}
+
+// SchedulePolicy is the task placement policy of the virtual scheduler.
+type SchedulePolicy int
+
+const (
+	// ScheduleFIFO assigns tasks to the earliest-available slot in
+	// submission order — Spark's default behaviour and the paper's
+	// baseline.
+	ScheduleFIFO SchedulePolicy = iota
+	// ScheduleLPT sorts tasks longest-first before placement (longest
+	// processing time). With skewed task durations — e.g. uneven Voronoi
+	// cluster sizes, which the paper identifies as its scalability
+	// limiter — LPT produces tighter makespans.
+	ScheduleLPT
+)
+
+func (p SchedulePolicy) String() string {
+	if p == ScheduleLPT {
+		return "lpt"
+	}
+	return "fifo"
+}
+
+// Defaults fills unset fields with production-like values.
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	if c.CoresPerExecutor <= 0 {
+		c.CoresPerExecutor = 1
+	}
+	if c.MemoryPerExecutorMB <= 0 {
+		c.MemoryPerExecutorMB = 1024
+	}
+	if c.NetworkMBps <= 0 {
+		c.NetworkMBps = 1000
+	}
+	if c.ShuffleLatencyMS < 0 {
+		c.ShuffleLatencyMS = 0
+	}
+	if c.MaxTaskRetries <= 0 {
+		c.MaxTaskRetries = 4
+	}
+	if c.SpillPenalty < 1 {
+		c.SpillPenalty = 3
+	}
+	if c.RealParallelism <= 0 {
+		c.RealParallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Cluster is a simulated Spark cluster. All methods are safe for concurrent
+// use by tasks of a running job; jobs themselves are submitted sequentially.
+type Cluster struct {
+	cfg Config
+
+	mu           sync.Mutex
+	virtualNS    float64
+	stageCounter int
+
+	blocks   *BlockStore
+	shuffles *ShuffleService
+	metrics  *Metrics
+	history  stageHistory
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg}
+	c.blocks = newBlockStore(int64(cfg.Executors)*int64(cfg.MemoryPerExecutorMB)*mb, c)
+	c.shuffles = newShuffleService()
+	c.metrics = &Metrics{}
+	return c
+}
+
+const mb = int64(1 << 20)
+
+// Config returns the (defaulted) configuration the cluster runs with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns the cluster's metrics registry.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Blocks returns the cluster's block store (partition cache).
+func (c *Cluster) Blocks() *BlockStore { return c.blocks }
+
+// VirtualElapsed returns the total virtual wall-clock accumulated across all
+// stages run so far.
+func (c *Cluster) VirtualElapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.virtualNS)
+}
+
+// ResetClock zeroes the virtual clock (metrics and caches are kept).
+func (c *Cluster) ResetClock() {
+	c.mu.Lock()
+	c.virtualNS = 0
+	c.mu.Unlock()
+}
+
+// StageStats reports one stage's execution.
+type StageStats struct {
+	Name            string
+	Tasks           int
+	Attempts        int
+	Failures        int
+	VirtualDuration time.Duration
+	RealDuration    time.Duration
+}
+
+// ErrTaskFailed is returned when a task exhausts its retry budget.
+var ErrTaskFailed = errors.New("cluster: task failed after max retries")
+
+// RunStage executes numTasks tasks, each invoking run with a fresh
+// TaskContext. Tasks run really in parallel (bounded by RealParallelism) and
+// their virtual durations are list-scheduled onto the configured executor
+// slots to advance the cluster's virtual clock.
+func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) error) (StageStats, error) {
+	c.mu.Lock()
+	c.stageCounter++
+	stageID := c.stageCounter
+	c.mu.Unlock()
+
+	start := time.Now()
+	durations := make([]float64, numTasks)
+	attempts := make([]int, numTasks)
+	failures := make([]int, numTasks)
+	errs := make([]error, numTasks)
+
+	sem := make(chan struct{}, c.cfg.RealParallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < numTasks; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			durations[task], attempts[task], failures[task], errs[task] = c.runTask(stageID, task, run)
+		}(i)
+	}
+	wg.Wait()
+
+	stats := StageStats{Name: name, Tasks: numTasks, RealDuration: time.Since(start)}
+	for i := 0; i < numTasks; i++ {
+		if errs[i] != nil {
+			return stats, fmt.Errorf("stage %q task %d: %w", name, i, errs[i])
+		}
+		stats.Attempts += attempts[i]
+		stats.Failures += failures[i]
+	}
+
+	makespanNS := c.listSchedule(durations)
+	overheadNS := c.cfg.SchedulerOverheadMS * 1e6 * (1 + 0.05*float64(c.cfg.Executors))
+	stats.VirtualDuration = time.Duration(makespanNS + overheadNS)
+
+	c.mu.Lock()
+	c.virtualNS += makespanNS + overheadNS
+	c.mu.Unlock()
+
+	c.metrics.StagesRun.Add(1)
+	c.metrics.TasksLaunched.Add(int64(stats.Attempts))
+	c.metrics.TaskFailures.Add(int64(stats.Failures))
+	c.history.add(stats)
+	return stats, nil
+}
+
+// runTask executes one task with retries; it returns the task's total virtual
+// duration (all attempts), the number of attempts, failures, and the final
+// error (nil on success).
+func (c *Cluster) runTask(stageID, task int, run func(tc *TaskContext) error) (float64, int, int, error) {
+	var totalVirtual float64
+	for attempt := 0; attempt < c.cfg.MaxTaskRetries; attempt++ {
+		tc := &TaskContext{cluster: c, stageID: stageID, task: task, attempt: attempt}
+		realStart := time.Now()
+		err := run(tc)
+		computeNS := float64(time.Since(realStart).Nanoseconds())
+		virtual := computeNS + tc.virtualNS
+
+		pressured := false
+		if tc.workingSetBytes > int64(c.cfg.MemoryPerExecutorMB)*mb {
+			virtual *= c.cfg.SpillPenalty
+			pressured = true
+			c.metrics.PressureEvents.Add(1)
+		}
+
+		if err != nil {
+			totalVirtual += virtual
+			return totalVirtual, attempt + 1, attempt + 1, err
+		}
+
+		fail := c.injectFailure(stageID, task, attempt)
+		if pressured && c.cfg.PressureTimeouts && attempt == 0 {
+			fail = true // simulated executor timeout under memory pressure
+		}
+		if fail {
+			totalVirtual += virtual
+			tc.discard()
+			continue
+		}
+
+		tc.commit()
+		totalVirtual += virtual
+		return totalVirtual, attempt + 1, attempt, nil
+	}
+	return totalVirtual, c.cfg.MaxTaskRetries, c.cfg.MaxTaskRetries, ErrTaskFailed
+}
+
+// injectFailure decides deterministically whether the given attempt fails.
+func (c *Cluster) injectFailure(stageID, task, attempt int) bool {
+	if c.cfg.FailureRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d/%d", c.cfg.Seed, stageID, task, attempt)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return rng.Float64() < c.cfg.FailureRate
+}
+
+// listSchedule assigns task virtual durations to executor slots, always
+// picking the earliest-available slot, and returns the makespan in
+// nanoseconds. Placement order follows the configured policy: submission
+// order (FIFO) or longest-first (LPT load balancing).
+func (c *Cluster) listSchedule(durations []float64) float64 {
+	slots := c.cfg.Executors * c.cfg.CoresPerExecutor
+	if slots < 1 {
+		slots = 1
+	}
+	if c.cfg.Scheduling == ScheduleLPT {
+		sorted := make([]float64, len(durations))
+		copy(sorted, durations)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		durations = sorted
+	}
+	avail := make([]float64, slots)
+	for _, d := range durations {
+		// Earliest-available slot; linear scan is fine for slot counts
+		// in the hundreds.
+		best := 0
+		for s := 1; s < slots; s++ {
+			if avail[s] < avail[best] {
+				best = s
+			}
+		}
+		avail[best] += d
+	}
+	makespan := 0.0
+	for _, t := range avail {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan
+}
+
+// Broadcast charges the virtual cost of distributing bytes to every
+// executor. Like Spark's torrent broadcast, distribution is tree-shaped:
+// executors that already hold the data re-serve it, so the critical path is
+// logarithmic in the executor count rather than linear.
+func (c *Cluster) Broadcast(bytes int64) {
+	perHop := float64(bytes)/(c.cfg.NetworkMBps*1e6)*1e9 + c.cfg.ShuffleLatencyMS*1e6
+	depth := math.Ceil(math.Log2(float64(c.cfg.Executors) + 1))
+	c.mu.Lock()
+	c.virtualNS += perHop * depth
+	c.mu.Unlock()
+	c.metrics.BroadcastBytes.Add(bytes)
+}
+
+// SlotCount returns the number of virtual task slots (executors x cores).
+func (c *Cluster) SlotCount() int {
+	return c.cfg.Executors * c.cfg.CoresPerExecutor
+}

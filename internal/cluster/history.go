@@ -1,0 +1,50 @@
+package cluster
+
+import "sync"
+
+// historyCap bounds the retained stage history; the experiment harness runs
+// thousands of stages and only recent ones matter for inspection.
+const historyCap = 512
+
+// stageHistory is a bounded ring of completed StageStats.
+type stageHistory struct {
+	mu      sync.Mutex
+	entries []StageStats
+	next    int
+	full    bool
+}
+
+func (h *stageHistory) add(s StageStats) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.entries == nil {
+		h.entries = make([]StageStats, historyCap)
+	}
+	h.entries[h.next] = s
+	h.next = (h.next + 1) % historyCap
+	if h.next == 0 {
+		h.full = true
+	}
+}
+
+func (h *stageHistory) snapshot() []StageStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.entries == nil {
+		return nil
+	}
+	var out []StageStats
+	if h.full {
+		out = append(out, h.entries[h.next:]...)
+	}
+	out = append(out, h.entries[:h.next]...)
+	return out
+}
+
+// StageHistory returns the most recent completed stages, oldest first
+// (bounded to the last 512). Use it to inspect which stages dominated a
+// job's virtual time — the paper's executor load-balancing discussion is
+// about exactly this skew.
+func (c *Cluster) StageHistory() []StageStats {
+	return c.history.snapshot()
+}

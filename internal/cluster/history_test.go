@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStageHistoryRecordsStages(t *testing.T) {
+	c := New(Config{Executors: 2})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("stage-%d", i)
+		if _, err := c.RunStage(name, 2, func(tc *TaskContext) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.StageHistory()
+	if len(h) != 3 {
+		t.Fatalf("history length = %d, want 3", len(h))
+	}
+	for i, s := range h {
+		if want := fmt.Sprintf("stage-%d", i); s.Name != want {
+			t.Errorf("history[%d].Name = %q, want %q (oldest first)", i, s.Name, want)
+		}
+		if s.Tasks != 2 {
+			t.Errorf("history[%d].Tasks = %d", i, s.Tasks)
+		}
+	}
+}
+
+func TestStageHistoryBounded(t *testing.T) {
+	c := New(Config{Executors: 1})
+	for i := 0; i < historyCap+10; i++ {
+		if _, err := c.RunStage(fmt.Sprintf("s%d", i), 1, func(tc *TaskContext) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.StageHistory()
+	if len(h) != historyCap {
+		t.Fatalf("history length = %d, want %d", len(h), historyCap)
+	}
+	// Oldest retained entry should be stage 10.
+	if h[0].Name != "s10" {
+		t.Errorf("oldest = %q, want s10", h[0].Name)
+	}
+	if h[len(h)-1].Name != fmt.Sprintf("s%d", historyCap+9) {
+		t.Errorf("newest = %q", h[len(h)-1].Name)
+	}
+}
+
+func TestStageHistoryEmpty(t *testing.T) {
+	c := New(Config{})
+	if h := c.StageHistory(); h != nil {
+		t.Errorf("fresh cluster history = %v", h)
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics is the cluster-wide counter registry. All counters are atomic and
+// may be read at any time; Snapshot returns a consistent-enough copy for
+// reporting (experiment harness output, tests).
+type Metrics struct {
+	StagesRun        atomic.Int64
+	TasksLaunched    atomic.Int64
+	TaskFailures     atomic.Int64
+	RecordsProcessed atomic.Int64
+	// Comparisons counts pairwise distance computations; the paper's
+	// Figs. 7-8 report intra- vs cross-cluster comparison counts, which
+	// the classifier layer derives from this and its own counters.
+	Comparisons           atomic.Int64
+	ShuffleBytesWritten   atomic.Int64
+	ShuffleRecordsWritten atomic.Int64
+	ShuffleBytesRead      atomic.Int64
+	BroadcastBytes        atomic.Int64
+	BlocksCached          atomic.Int64
+	BlockHits             atomic.Int64
+	BlockMisses           atomic.Int64
+	BlockEvictions        atomic.Int64
+	BlockRecomputes       atomic.Int64
+	PressureEvents        atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics.
+type MetricsSnapshot struct {
+	StagesRun             int64
+	TasksLaunched         int64
+	TaskFailures          int64
+	RecordsProcessed      int64
+	Comparisons           int64
+	ShuffleBytesWritten   int64
+	ShuffleRecordsWritten int64
+	ShuffleBytesRead      int64
+	BroadcastBytes        int64
+	BlocksCached          int64
+	BlockHits             int64
+	BlockMisses           int64
+	BlockEvictions        int64
+	BlockRecomputes       int64
+	PressureEvents        int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		StagesRun:             m.StagesRun.Load(),
+		TasksLaunched:         m.TasksLaunched.Load(),
+		TaskFailures:          m.TaskFailures.Load(),
+		RecordsProcessed:      m.RecordsProcessed.Load(),
+		Comparisons:           m.Comparisons.Load(),
+		ShuffleBytesWritten:   m.ShuffleBytesWritten.Load(),
+		ShuffleRecordsWritten: m.ShuffleRecordsWritten.Load(),
+		ShuffleBytesRead:      m.ShuffleBytesRead.Load(),
+		BroadcastBytes:        m.BroadcastBytes.Load(),
+		BlocksCached:          m.BlocksCached.Load(),
+		BlockHits:             m.BlockHits.Load(),
+		BlockMisses:           m.BlockMisses.Load(),
+		BlockEvictions:        m.BlockEvictions.Load(),
+		BlockRecomputes:       m.BlockRecomputes.Load(),
+		PressureEvents:        m.PressureEvents.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (m *Metrics) Reset() {
+	m.StagesRun.Store(0)
+	m.TasksLaunched.Store(0)
+	m.TaskFailures.Store(0)
+	m.RecordsProcessed.Store(0)
+	m.Comparisons.Store(0)
+	m.ShuffleBytesWritten.Store(0)
+	m.ShuffleRecordsWritten.Store(0)
+	m.ShuffleBytesRead.Store(0)
+	m.BroadcastBytes.Store(0)
+	m.BlocksCached.Store(0)
+	m.BlockHits.Store(0)
+	m.BlockMisses.Store(0)
+	m.BlockEvictions.Store(0)
+	m.BlockRecomputes.Store(0)
+	m.PressureEvents.Store(0)
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import "testing"
+
+func TestSchedulePolicyString(t *testing.T) {
+	if ScheduleFIFO.String() != "fifo" || ScheduleLPT.String() != "lpt" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestLPTBeatsFIFOOnSkewedTasks(t *testing.T) {
+	// Skewed durations with the long task last: FIFO fills slots with
+	// short tasks first and the straggler lands on a loaded slot; LPT
+	// places it first. This is the load-balancing gain the paper's §7
+	// names as future work.
+	durations := []float64{10, 10, 10, 10, 10, 10, 100}
+	fifo := New(Config{Executors: 2, CoresPerExecutor: 1})
+	lpt := New(Config{Executors: 2, CoresPerExecutor: 1, Scheduling: ScheduleLPT})
+	f := fifo.listSchedule(durations)
+	l := lpt.listSchedule(durations)
+	if l >= f {
+		t.Errorf("LPT makespan %v not below FIFO %v", l, f)
+	}
+	// LPT optimum here: slot A = 100, slot B = 60 -> makespan 100.
+	if l != 100 {
+		t.Errorf("LPT makespan = %v, want 100", l)
+	}
+	// FIFO: A = 10+10+10 = 30... tasks alternate; the 100 lands on a slot
+	// with 30 already -> 130.
+	if f != 130 {
+		t.Errorf("FIFO makespan = %v, want 130", f)
+	}
+}
+
+func TestLPTDoesNotMutateCallerDurations(t *testing.T) {
+	c := New(Config{Executors: 2, Scheduling: ScheduleLPT})
+	durations := []float64{1, 5, 2}
+	c.listSchedule(durations)
+	if durations[0] != 1 || durations[1] != 5 || durations[2] != 2 {
+		t.Error("listSchedule mutated the caller's slice")
+	}
+}
+
+func TestLPTNeverWorseThanFIFO(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{5},
+		{1, 1, 1, 1},
+		{9, 1, 8, 2, 7, 3},
+		{100, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9},
+	}
+	for _, durations := range cases {
+		for _, slots := range []int{1, 2, 3, 5} {
+			fifo := New(Config{Executors: slots, CoresPerExecutor: 1})
+			lpt := New(Config{Executors: slots, CoresPerExecutor: 1, Scheduling: ScheduleLPT})
+			f := fifo.listSchedule(durations)
+			l := lpt.listSchedule(durations)
+			// LPT is a 4/3-approximation; against FIFO's arbitrary
+			// order it can only tie or win on these adversarial
+			// inputs (long task last).
+			if l > f {
+				t.Errorf("slots=%d durations=%v: LPT %v worse than FIFO %v", slots, durations, l, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import "sync"
+
+// ShuffleService stores committed map-side shuffle output per
+// (shuffle, reduce partition). Like Spark's shuffle files, output is retained
+// until the shuffle is unregistered, so downstream recomputation (e.g. after
+// a cache eviction) can re-read it without re-running the map stage.
+type ShuffleService struct {
+	mu     sync.Mutex
+	nextID int
+	// blocks[shuffleID][reduceID] is the list of committed map-output
+	// buckets for that reduce partition.
+	blocks map[int]map[int][]shuffleBlock
+	done   map[int]bool
+}
+
+type shuffleBlock struct {
+	data  any
+	bytes int64
+}
+
+func newShuffleService() *ShuffleService {
+	return &ShuffleService{
+		blocks: make(map[int]map[int][]shuffleBlock),
+		done:   make(map[int]bool),
+	}
+}
+
+// Register allocates a new shuffle ID.
+func (s *ShuffleService) Register() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.blocks[s.nextID] = make(map[int][]shuffleBlock)
+	return s.nextID
+}
+
+// MarkDone records that the shuffle's map stage completed.
+func (s *ShuffleService) MarkDone(id int) {
+	s.mu.Lock()
+	s.done[id] = true
+	s.mu.Unlock()
+}
+
+// Done reports whether the shuffle's map stage completed.
+func (s *ShuffleService) Done(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[id]
+}
+
+// Unregister drops all blocks of a shuffle.
+func (s *ShuffleService) Unregister(id int) {
+	s.mu.Lock()
+	delete(s.blocks, id)
+	delete(s.done, id)
+	s.mu.Unlock()
+}
+
+func (s *ShuffleService) write(shuffleID, reduceID int, data any, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.blocks[shuffleID]
+	if !ok {
+		m = make(map[int][]shuffleBlock)
+		s.blocks[shuffleID] = m
+	}
+	m[reduceID] = append(m[reduceID], shuffleBlock{data: data, bytes: bytes})
+}
+
+func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bl := s.blocks[shuffleID][reduceID]
+	out := make([]any, len(bl))
+	var bytes int64
+	for i, b := range bl {
+		out[i] = b.data
+		bytes += b.bytes
+	}
+	return out, bytes
+}
+
+// Shuffles exposes the shuffle service to the RDD layer.
+func (c *Cluster) Shuffles() *ShuffleService { return c.shuffles }

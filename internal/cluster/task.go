@@ -1,0 +1,100 @@
+package cluster
+
+// TaskContext is handed to every task attempt. It accumulates the attempt's
+// simulated I/O time, bookkeeping counters, and buffered shuffle writes.
+// Shuffle writes become visible to downstream stages only when the attempt
+// succeeds (commit-on-success, as in Spark); a failed attempt's writes are
+// discarded, which is what makes task retry safe.
+//
+// A TaskContext is used by a single goroutine (its task); it must not be
+// shared across tasks.
+type TaskContext struct {
+	cluster *Cluster
+	stageID int
+	task    int
+	attempt int
+
+	virtualNS       float64
+	workingSetBytes int64
+
+	pendingShuffle []pendingWrite
+}
+
+type pendingWrite struct {
+	shuffleID int
+	reduceID  int
+	data      any
+	records   int64
+	bytes     int64
+}
+
+// Task returns the task's index within its stage.
+func (tc *TaskContext) Task() int { return tc.task }
+
+// Attempt returns the zero-based attempt number of this execution.
+func (tc *TaskContext) Attempt() int { return tc.attempt }
+
+// AddRecords counts records processed by the task (throughput metric).
+func (tc *TaskContext) AddRecords(n int64) {
+	tc.cluster.metrics.RecordsProcessed.Add(n)
+}
+
+// AddComparisons counts pairwise comparisons performed by the task; the
+// experiment harness reads this for the paper's Figs. 7-8.
+func (tc *TaskContext) AddComparisons(n int64) {
+	tc.cluster.metrics.Comparisons.Add(n)
+}
+
+// AddVirtualNS adds simulated (non-CPU) time to the attempt, e.g. network
+// waits. It does not consume real time.
+func (tc *TaskContext) AddVirtualNS(ns float64) {
+	if ns > 0 {
+		tc.virtualNS += ns
+	}
+}
+
+// SetWorkingSetBytes declares the task's peak in-memory working set. When it
+// exceeds the executor memory budget the scheduler applies the spill penalty
+// (and, if configured, a first-attempt timeout failure).
+func (tc *TaskContext) SetWorkingSetBytes(n int64) {
+	if n > tc.workingSetBytes {
+		tc.workingSetBytes = n
+	}
+}
+
+// WriteShuffle buffers one output bucket for the given shuffle and reduce
+// partition. The write is committed when the attempt succeeds.
+func (tc *TaskContext) WriteShuffle(shuffleID, reduceID int, data any, records, bytes int64) {
+	tc.pendingShuffle = append(tc.pendingShuffle, pendingWrite{
+		shuffleID: shuffleID,
+		reduceID:  reduceID,
+		data:      data,
+		records:   records,
+		bytes:     bytes,
+	})
+}
+
+// FetchShuffle reads all committed map-output blocks for the given reduce
+// partition and charges the simulated network transfer to this attempt.
+func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
+	blocks, bytes := tc.cluster.shuffles.fetch(shuffleID, reduceID)
+	cfg := tc.cluster.cfg
+	transferNS := float64(bytes)/(cfg.NetworkMBps*1e6)*1e9 +
+		cfg.ShuffleLatencyMS*1e6*float64(len(blocks))
+	tc.AddVirtualNS(transferNS)
+	tc.cluster.metrics.ShuffleBytesRead.Add(bytes)
+	return blocks
+}
+
+func (tc *TaskContext) commit() {
+	for _, w := range tc.pendingShuffle {
+		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.data, w.bytes)
+		tc.cluster.metrics.ShuffleBytesWritten.Add(w.bytes)
+		tc.cluster.metrics.ShuffleRecordsWritten.Add(w.records)
+	}
+	tc.pendingShuffle = nil
+}
+
+func (tc *TaskContext) discard() {
+	tc.pendingShuffle = nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"adrdedup/internal/kmeans"
+	"adrdedup/internal/knn"
+	"adrdedup/internal/rdd"
+	"adrdedup/internal/vecmath"
+)
+
+// Classifier is a trained Fast kNN duplicate classifier. Train builds it;
+// Classify labels batches of testing pairs. A Classifier is bound to the
+// rdd.Context it was trained on.
+type Classifier struct {
+	ctx *rdd.Context
+	cfg Config
+
+	dim     int
+	centers [][]float64
+
+	// negBlocks holds the negative training pairs of each Voronoi cell,
+	// keyed by cluster ID, one block per element — cached on the cluster
+	// so repeated Classify calls reuse it (Spark persistence).
+	negBlocks *rdd.RDD[rdd.Pair[int, []ipair]]
+	negSizes  []int
+	totalNeg  int
+
+	// positives is the full positive set, broadcast to tasks
+	// (observation 1: it is small).
+	positives []ipair
+
+	// negTrees holds an optional k-d tree per negative block
+	// (Config.LocalIndex), aligned with cluster IDs.
+	negTrees []*knn.KDTree
+
+	// pruneCenters/pruneRadii implement §4.3.4 when cfg.Pruning is set.
+	pruneCenters [][]float64
+	pruneRadii   []float64
+
+	intraComparisons    atomic.Int64
+	crossComparisons    atomic.Int64
+	positiveComparisons atomic.Int64
+	additionalClusters  atomic.Int64
+}
+
+// Train partitions the labelled pairs and prepares the cluster-resident
+// training structures. It implements lines 1-4 of Algorithm 2 plus the
+// §4.3.4 pruning preparation.
+func Train(ctx *rdd.Context, pairs []TrainingPair, cfg Config) (*Classifier, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("core: no training pairs")
+	}
+	dim := len(pairs[0].Vec)
+	vecs := make([][]float64, len(pairs))
+	for i, p := range pairs {
+		if len(p.Vec) != dim {
+			return nil, fmt.Errorf("core: training pair %d has dim %d, want %d", i, len(p.Vec), dim)
+		}
+		if p.Label != 1 && p.Label != -1 {
+			return nil, fmt.Errorf("core: training pair %d has label %d, want +1 or -1", i, p.Label)
+		}
+		vecs[i] = p.Vec
+	}
+
+	c := &Classifier{ctx: ctx, cfg: cfg, dim: dim}
+
+	// Line 1: partition T into b clusters.
+	var assign []int
+	if cfg.RandomPartition {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		assign = make([]int, len(pairs))
+		centers := make([][]float64, cfg.B)
+		counts := make([]int, cfg.B)
+		for i := range centers {
+			centers[i] = make([]float64, dim)
+		}
+		for i := range pairs {
+			a := rng.Intn(cfg.B)
+			assign[i] = a
+			counts[a]++
+			vecmath.Add(centers[a], pairs[i].Vec)
+		}
+		for i := range centers {
+			if counts[i] > 0 {
+				vecmath.Scale(centers[i], 1/float64(counts[i]))
+			}
+		}
+		c.centers = centers
+	} else {
+		res, err := kmeans.Run(vecs, cfg.B, kmeans.Options{
+			MaxIter: cfg.KMeansMaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: partitioning training pairs: %w", err)
+		}
+		c.centers = res.Centers
+		assign = res.Assign
+	}
+
+	// Split by label; group negatives per cluster. Every pair keeps its
+	// global training index so neighbor lists merge exactly.
+	b := len(c.centers)
+	negByCluster := make([][]ipair, b)
+	for i, p := range pairs {
+		ip := ipair{Idx: i, Vec: p.Vec, Label: p.Label}
+		if p.Label > 0 {
+			c.positives = append(c.positives, ip)
+			continue
+		}
+		negByCluster[assign[i]] = append(negByCluster[assign[i]], ip)
+	}
+	c.negSizes = make([]int, b)
+	blocks := make([]rdd.Pair[int, []ipair], 0, b)
+	for cl, block := range negByCluster {
+		c.negSizes[cl] = len(block)
+		c.totalNeg += len(block)
+		blocks = append(blocks, rdd.KV(cl, block))
+	}
+	avg := int64(1)
+	if b > 0 {
+		avg = int64(c.totalNeg/b+1) * int64(8*dim+16)
+	}
+	c.negBlocks = rdd.Parallelize(ctx, blocks, b).
+		SetName("T-neg.blocks").
+		WithBytesPerRecord(avg).
+		Cache()
+
+	// Broadcast the centers and positives to the executors.
+	ctx.Cluster().Broadcast(int64(len(c.centers)) * int64(8*dim))
+	ctx.Cluster().Broadcast(int64(len(c.positives)) * int64(8*dim+8))
+
+	if cfg.LocalIndex {
+		c.buildLocalIndexes(negByCluster)
+	}
+
+	// §4.3.4 preparation: cluster the positives, record radii.
+	if cfg.Pruning != nil && len(c.positives) > 0 {
+		posVecs := make([][]float64, len(c.positives))
+		for i, p := range c.positives {
+			posVecs[i] = p.Vec
+		}
+		res, err := kmeans.Run(posVecs, cfg.Pruning.Clusters, kmeans.Options{
+			MaxIter: cfg.KMeansMaxIter, Seed: cfg.Seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering positives for pruning: %w", err)
+		}
+		c.pruneCenters = res.Centers
+		c.pruneRadii = kmeans.Radii(posVecs, res)
+	}
+	return c, nil
+}
+
+// buildLocalIndexes constructs one k-d tree per negative block. Trees are
+// block-local (like Zhang et al.'s per-block R-trees) so partition pruning
+// and the index compose.
+func (c *Classifier) buildLocalIndexes(negByCluster [][]ipair) {
+	c.negTrees = make([]*knn.KDTree, len(negByCluster))
+	for cl, block := range negByCluster {
+		if len(block) == 0 {
+			continue
+		}
+		pts := make([][]float64, len(block))
+		labels := make([]int, len(block))
+		ids := make([]int, len(block))
+		for i, p := range block {
+			pts[i] = p.Vec
+			labels[i] = p.Label
+			ids[i] = p.Idx
+		}
+		c.negTrees[cl] = knn.BuildKDTree(pts, labels, ids)
+	}
+}
+
+// Centers returns the Voronoi cell centers of the training partition.
+func (c *Classifier) Centers() [][]float64 { return c.centers }
+
+// Positives returns the count of positive training pairs.
+func (c *Classifier) Positives() int { return len(c.positives) }
+
+// NegativeSizes returns the per-cluster negative pair counts.
+func (c *Classifier) NegativeSizes() []int { return c.negSizes }
+
+// Result is one classified testing pair.
+type Result struct {
+	// ID is the caller-assigned pair identity (index into the Classify
+	// input).
+	ID int
+	// Score is the Eq. 5 inverse-distance-weighted score; pruned pairs
+	// keep a score of negative infinity substitute (see Pruned).
+	Score float64
+	// Label is +1 (duplicate) when Score >= theta, else -1 (Eq. 6).
+	Label int
+	// Pruned marks pairs removed by §4.3.4 pruning before classification.
+	Pruned bool
+	// Neighbors holds the final k nearest labelled neighbors (empty for
+	// pruned pairs), ascending by distance.
+	Neighbors []knn.Neighbor
+}
+
+// Stats summarizes one Classify call, feeding the paper's Figs. 7, 8, 11.
+type Stats struct {
+	TestPairs                 int
+	PrunedPairs               int
+	IntraClusterComparisons   int64
+	CrossClusterComparisons   int64
+	PositiveScanComparisons   int64
+	AdditionalClustersChecked int64
+	VirtualTime               time.Duration
+}
+
+// ipair is a training pair with its global index, the element the negative
+// blocks and positive scan work over.
+type ipair struct {
+	Idx   int
+	Vec   []float64
+	Label int
+}
+
+// sItem is a testing pair routed through the RDD stages.
+type sItem struct {
+	ID      int
+	Vec     []float64
+	Cluster int
+}
+
+// stage1Out carries a testing pair's state after the intra-cluster stage.
+type stage1Out struct {
+	Item       sItem
+	Neighbors  []knn.Neighbor
+	NeedCross  bool
+	Additional []int
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adrdedup/internal/knn"
+	"adrdedup/internal/rdd"
+	"adrdedup/internal/vecmath"
+)
+
+// Classify labels a batch of testing pair vectors with Algorithm 2. The
+// returned results are ordered by input index. Classify may be called
+// repeatedly (the cached training blocks are reused) but not concurrently
+// with itself, matching the sequential job submission of a Spark driver.
+func (c *Classifier) Classify(test [][]float64) ([]Result, Stats, error) {
+	var stats Stats
+	stats.TestPairs = len(test)
+	if len(test) == 0 {
+		return nil, stats, nil
+	}
+	for i, v := range test {
+		if len(v) != c.dim {
+			return nil, stats, fmt.Errorf("core: test pair %d has dim %d, want %d", i, len(v), c.dim)
+		}
+	}
+
+	startVirtual := c.ctx.Cluster().VirtualElapsed()
+	baseIntra := c.intraComparisons.Load()
+	baseCross := c.crossComparisons.Load()
+	basePos := c.positiveComparisons.Load()
+	baseAdd := c.additionalClusters.Load()
+
+	// §4.3.4 testing-set pruning.
+	keep, err := c.pruneMask(test)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Lines 2-4 of Algorithm 2: assign each testing pair to its nearest
+	// training cluster and split the survivors into C partitions.
+	items, pruned, err := c.assignClusters(test, keep)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.PrunedPairs = len(pruned)
+
+	results := make([]Result, 0, len(test))
+	for _, id := range pruned {
+		results = append(results, Result{ID: id, Score: math.Inf(-1), Label: -1, Pruned: true})
+	}
+
+	if len(items) > 0 {
+		classified, err := c.classifyItems(items)
+		if err != nil {
+			return nil, stats, err
+		}
+		results = append(results, classified...)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+
+	stats.IntraClusterComparisons = c.intraComparisons.Load() - baseIntra
+	stats.CrossClusterComparisons = c.crossComparisons.Load() - baseCross
+	stats.PositiveScanComparisons = c.positiveComparisons.Load() - basePos
+	stats.AdditionalClustersChecked = c.additionalClusters.Load() - baseAdd
+	stats.VirtualTime = c.ctx.Cluster().VirtualElapsed() - startVirtual
+	return results, stats, nil
+}
+
+// pruneMask returns, per testing pair, whether it survives §4.3.4 pruning.
+// With pruning disabled (or no positive clusters) every pair survives.
+func (c *Classifier) pruneMask(test [][]float64) ([]bool, error) {
+	keep := make([]bool, len(test))
+	if c.cfg.Pruning == nil || len(c.pruneCenters) == 0 {
+		for i := range keep {
+			keep[i] = true
+		}
+		return keep, nil
+	}
+	centers := c.pruneCenters
+	radii := c.pruneRadii
+	// f(θ) is a fraction of the space diameter; convert to a distance.
+	slack := c.cfg.Pruning.FTheta * math.Sqrt(float64(c.dim))
+	type verdict struct {
+		ID   int
+		Keep bool
+	}
+	idx := make([]int, len(test))
+	for i := range idx {
+		idx[i] = i
+	}
+	src := rdd.Parallelize(c.ctx, idx, c.cfg.C).SetName("S.pruneIDs")
+	verdicts, err := rdd.Map(src, func(i int) verdict {
+		t := test[i]
+		for ci, cp := range centers {
+			if vecmath.Dist(t, cp) <= radii[ci]+slack {
+				return verdict{ID: i, Keep: true}
+			}
+		}
+		return verdict{ID: i, Keep: false}
+	}).SetName("S.pruned").Collect()
+	if err != nil {
+		return nil, fmt.Errorf("core: pruning testing set: %w", err)
+	}
+	for _, v := range verdicts {
+		keep[v.ID] = v.Keep
+	}
+	return keep, nil
+}
+
+// assignClusters maps surviving testing pairs to their nearest Voronoi cell
+// (lines 2-3 of Algorithm 2) and returns the pruned IDs separately.
+func (c *Classifier) assignClusters(test [][]float64, keep []bool) ([]sItem, []int, error) {
+	var pruned []int
+	ids := make([]int, 0, len(test))
+	for i, k := range keep {
+		if k {
+			ids = append(ids, i)
+		} else {
+			pruned = append(pruned, i)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, pruned, nil
+	}
+	centers := c.centers
+	src := rdd.Parallelize(c.ctx, ids, c.cfg.C).SetName("S.ids")
+	items, err := rdd.Map(src, func(i int) sItem {
+		cl, _ := vecmath.ArgMinDist(test[i], centers)
+		return sItem{ID: i, Vec: test[i], Cluster: cl}
+	}).SetName("S.assigned").Collect()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: assigning testing pairs: %w", err)
+	}
+	return items, pruned, nil
+}
+
+// classifyItems runs the two comparison stages of Algorithm 2 over the
+// surviving testing pairs.
+func (c *Classifier) classifyItems(items []sItem) ([]Result, error) {
+	k := c.cfg.K
+	positives := c.positives
+	eps := c.cfg.Epsilon
+
+	// Keyed testing pairs, split into C partitions (line 4).
+	sKeyed := rdd.Map(
+		rdd.Parallelize(c.ctx, items, c.cfg.C).SetName("S.items").WithBytesPerRecord(int64(8*c.dim+24)),
+		func(s sItem) rdd.Pair[int, sItem] { return rdd.KV(s.Cluster, s) },
+	).SetName("S.byCluster")
+
+	// Stage 1 (lines 6-12): join testing pairs with their own cluster's
+	// negative block, take the local top-k, fold in the exhaustive
+	// positive scan, and decide whether cross-cluster search is needed.
+	// The join is partitioned per training cluster (b partitions), so a
+	// task's working set is one cluster's block: small cluster numbers
+	// mean big blocks, which is what overruns executor memory in the
+	// paper's Fig. 8(b).
+	// The stage-1 output feeds two consumers (the no-cross results and the
+	// cross-cluster fanout), so it is persisted — exactly the distributed
+	// memory management the paper credits Spark for (§2.2); without it
+	// the intra-cluster scans would run twice.
+	joined := rdd.Join(sKeyed, c.negBlocks, len(c.centers)).SetName("S⋈T-neg")
+	stage1 := rdd.Map(joined, func(row rdd.Pair[int, rdd.Tuple2[sItem, []ipair]]) stage1Out {
+		s := row.Value.A
+		block := row.Value.B
+		neighbors := c.topKAgainst(s.Vec, row.Key, block, k, &c.intraComparisons)
+
+		// Line 9-10: distances to every positive pair, merged in.
+		posNeighbors := c.topKPositives(s.Vec, k)
+		neighbors = knn.Merge(k, neighbors, posNeighbors)
+
+		out := stage1Out{Item: s, Neighbors: neighbors}
+		hasPositive := false
+		for _, n := range neighbors {
+			if n.Label > 0 {
+				hasPositive = true
+				break
+			}
+		}
+		// Line 11 (observations 2-3): cross-cluster search is only
+		// justified when a positive made it into the current top-k —
+		// an all-negative top-k stays all-negative no matter what
+		// nearer negatives other clusters hold. Searching is also
+		// required when the own cluster could not supply k neighbors.
+		out.NeedCross = hasPositive || len(neighbors) < k
+		if c.cfg.DisablePositiveShortcut {
+			out.NeedCross = true
+		}
+		if out.NeedCross {
+			out.Additional = c.selectPartitions(s, neighbors)
+			c.additionalClusters.Add(int64(len(out.Additional)))
+			if len(out.Additional) == 0 {
+				out.NeedCross = false
+			}
+		}
+		return out
+	}).SetName("S.stage1").WithBytesPerRecord(int64(8*c.dim + 48 + 48*c.cfg.K)).Cache()
+	defer stage1.Unpersist()
+
+	// Stage 2 (lines 12-15): fan surviving queries out to their additional
+	// partitions, join with those negative blocks, and merge the per-
+	// partition top-k lists back per testing pair.
+	base := rdd.Map(stage1, func(o stage1Out) rdd.Pair[int, []knn.Neighbor] {
+		return rdd.KV(o.Item.ID, o.Neighbors)
+	}).SetName("S.stage1.neighbors")
+
+	type crossQuery struct {
+		ID  int
+		Vec []float64
+	}
+	fanout := rdd.FlatMap(stage1, func(o stage1Out) []rdd.Pair[int, crossQuery] {
+		if !o.NeedCross {
+			return nil
+		}
+		out := make([]rdd.Pair[int, crossQuery], 0, len(o.Additional))
+		for _, p := range o.Additional {
+			out = append(out, rdd.KV(p, crossQuery{ID: o.Item.ID, Vec: o.Item.Vec}))
+		}
+		return out
+	}).SetName("S.crossFanout")
+
+	crossJoined := rdd.Join(fanout, c.negBlocks, len(c.centers)).SetName("Scross⋈T-neg")
+	crossResults := rdd.Map(crossJoined, func(row rdd.Pair[int, rdd.Tuple2[crossQuery, []ipair]]) rdd.Pair[int, []knn.Neighbor] {
+		q := row.Value.A
+		block := row.Value.B
+		return rdd.KV(q.ID, c.topKAgainst(q.Vec, row.Key, block, k, &c.crossComparisons))
+	}).SetName("S.crossNeighbors")
+
+	merged := rdd.ReduceByKey(rdd.Union(base, crossResults), func(a, b []knn.Neighbor) []knn.Neighbor {
+		return knn.Merge(k, a, b)
+	}, c.cfg.C).SetName("S.finalNeighbors")
+
+	// Line 17: score (Eq. 5) and label (Eq. 6).
+	theta := c.cfg.Theta
+	scored := rdd.Map(merged, func(kv rdd.Pair[int, []knn.Neighbor]) Result {
+		score := ScoreNeighbors(kv.Value, eps)
+		label := -1
+		if score >= theta {
+			label = 1
+		}
+		return Result{ID: kv.Key, Score: score, Label: label, Neighbors: kv.Value}
+	}).SetName("S.scored")
+
+	results, err := scored.Collect()
+	if err != nil {
+		return nil, fmt.Errorf("core: classification: %w", err)
+	}
+	// Any positives needed? Count positive-scan comparisons driver-side:
+	// one full positive scan per classified item.
+	c.positiveComparisons.Add(int64(len(items)) * int64(len(positives)))
+	return results, nil
+}
+
+// topKAgainst finds the query's k nearest members of a negative block,
+// charging the comparison counter with the distance computations actually
+// performed. With Config.LocalIndex the block's k-d tree answers the query;
+// otherwise the block is scanned. Neighbors keep their global training
+// index, so later merges deduplicate exactly.
+func (c *Classifier) topKAgainst(q []float64, cluster int, block []ipair, k int, counter interface{ Add(int64) int64 }) []knn.Neighbor {
+	if c.negTrees != nil && cluster >= 0 && cluster < len(c.negTrees) && c.negTrees[cluster] != nil {
+		neighbors, computed := c.negTrees[cluster].Query(q, k)
+		counter.Add(computed)
+		return neighbors
+	}
+	counter.Add(int64(len(block)))
+	cands := make([]knn.Neighbor, len(block))
+	for j, t := range block {
+		cands[j] = knn.Neighbor{Index: t.Idx, Dist: vecmath.Dist(q, t.Vec), Label: t.Label}
+	}
+	return rdd.BoundedMin(cands, k, knn.Less)
+}
+
+// topKPositives returns the k nearest positive pairs (observation 1: the
+// positive set is scanned exhaustively).
+func (c *Classifier) topKPositives(q []float64, k int) []knn.Neighbor {
+	if len(c.positives) == 0 {
+		return nil
+	}
+	cands := make([]knn.Neighbor, len(c.positives))
+	for j, t := range c.positives {
+		cands[j] = knn.Neighbor{Index: t.Idx, Dist: vecmath.Dist(q, t.Vec), Label: +1}
+	}
+	return rdd.BoundedMin(cands, k, knn.Less)
+}
+
+// selectPartitions is Algorithm 1: choose which other partitions must be
+// searched for the query's true k nearest neighbors. With Voronoi
+// partitioning, partition j can hold a nearer neighbor only when the
+// hyperplane separating i from j is closer to s than its current k-th
+// neighbor (observation 4, Eq. 7).
+func (c *Classifier) selectPartitions(s sItem, neighbors []knn.Neighbor) []int {
+	var out []int
+	i := s.Cluster
+	exhaustive := c.cfg.DisablePartitionPruning || c.cfg.RandomPartition
+	dsk := math.Inf(1) // fewer than k neighbors: every partition qualifies
+	if len(neighbors) >= c.cfg.K {
+		dsk = neighbors[len(neighbors)-1].Dist
+	}
+	pi := c.centers[i]
+	dspi2 := vecmath.SqDist(s.Vec, pi)
+	for j := range c.centers {
+		if j == i || c.negSizes[j] == 0 {
+			continue
+		}
+		if exhaustive {
+			out = append(out, j)
+			continue
+		}
+		pj := c.centers[j]
+		dpipj := vecmath.Dist(pi, pj)
+		if dpipj == 0 {
+			// Coincident centers: the hyperplane is undefined; be
+			// conservative and search the partition.
+			out = append(out, j)
+			continue
+		}
+		dsh := (vecmath.SqDist(s.Vec, pj) - dspi2) / (2 * dpipj)
+		if dsk > dsh {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ScoreNeighbors computes the Eq. 5 score: positive neighbors add an
+// inverse-distance weight, negative neighbors subtract it. The weight is
+// 1/(dist+eps) — smoothly bounded at 1/eps for coincident vectors while
+// staying strictly monotone in distance, so ranking among very close
+// neighbors is preserved.
+func ScoreNeighbors(neighbors []knn.Neighbor, eps float64) float64 {
+	var score float64
+	for _, n := range neighbors {
+		w := 1 / (n.Dist + eps)
+		if n.Label > 0 {
+			score += w
+		} else {
+			score -= w
+		}
+	}
+	return score
+}

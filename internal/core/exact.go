@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"adrdedup/internal/knn"
+)
+
+// ExactClassify is the single-node reference classifier: an exact
+// brute-force kNN join against the full training set, scored with Eq. 5 and
+// thresholded with Eq. 6. Fast kNN's partitioned search is exact-by-
+// construction for labels (its pruning rules never discard a neighbor that
+// could change the decision), which the test suite verifies against this
+// implementation. It is also the "kNN without parallelization" baseline the
+// paper motivates Fast kNN with.
+func ExactClassify(train []TrainingPair, test [][]float64, k int, theta, eps float64) ([]Result, error) {
+	if len(train) == 0 {
+		return nil, errors.New("core: no training pairs")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k = %d", k)
+	}
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	vecs := make([][]float64, len(train))
+	labels := make([]int, len(train))
+	for i, p := range train {
+		vecs[i] = p.Vec
+		labels[i] = p.Label
+	}
+	neighborLists := knn.BruteForce(test, vecs, labels, k)
+	out := make([]Result, len(test))
+	for i, neighbors := range neighborLists {
+		score := ScoreNeighbors(neighbors, eps)
+		label := -1
+		if score >= theta {
+			label = 1
+		}
+		out[i] = Result{ID: i, Score: score, Label: label, Neighbors: neighbors}
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLearnPruningThresholdKeepsValidationPositives(t *testing.T) {
+	const dim = 7
+	train := synthData(30, 3000, dim, 41)
+	validation := synthData(20, 0, dim, 42) // positives only
+
+	pruning, err := LearnPruningThreshold(train, validation, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruning.FTheta < 0 || pruning.FTheta > 1 {
+		t.Fatalf("learned f(theta) = %v out of [0,1]", pruning.FTheta)
+	}
+
+	ctx := testCtx()
+	cfg := Config{K: 9, B: 10, C: 4, Seed: 43, Pruning: pruning}
+	clf, err := Train(ctx, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valVecs [][]float64
+	for _, p := range validation {
+		valVecs = append(valVecs, p.Vec)
+	}
+	res, _, err := clf.Classify(valVecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Pruned {
+			t.Errorf("validation positive %d pruned at learned threshold %.3f", i, pruning.FTheta)
+		}
+	}
+}
+
+func TestLearnPruningThresholdTighterThanManualDefault(t *testing.T) {
+	const dim = 7
+	train := synthData(30, 3000, dim, 44)
+	validation := synthData(20, 0, dim, 45)
+	pruning, err := LearnPruningThreshold(train, validation, 6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The point of learning: the threshold should be far below the "keep
+	// everything" setting of 0.9 the paper sweeps to, so pruning still
+	// saves work.
+	if pruning.FTheta >= 0.9 {
+		t.Errorf("learned f(theta) = %.3f; not tighter than the manual ceiling", pruning.FTheta)
+	}
+
+	// And it must actually prune far pairs.
+	ctx := testCtx()
+	clf, err := Train(ctx, train, Config{K: 9, B: 10, C: 4, Seed: 46, Pruning: pruning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := synthQueries(300, dim, 47)
+	_, stats, err := clf.Classify(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PrunedPairs == 0 {
+		t.Error("learned threshold pruned nothing; it is vacuous")
+	}
+}
+
+func TestLearnPruningThresholdValidation(t *testing.T) {
+	const dim = 3
+	train := synthData(5, 50, dim, 48)
+	validation := synthData(5, 0, dim, 49)
+	if _, err := LearnPruningThreshold(train, validation, 0, 0.1); err == nil {
+		t.Error("l=0 must be rejected")
+	}
+	if _, err := LearnPruningThreshold(train, validation, 4, -1); err == nil {
+		t.Error("negative safety must be rejected")
+	}
+	onlyNeg := synthData(0, 50, dim, 50)
+	if _, err := LearnPruningThreshold(onlyNeg, validation, 4, 0.1); err == nil {
+		t.Error("training without positives must be rejected")
+	}
+	if _, err := LearnPruningThreshold(train, onlyNeg, 4, 0.1); err == nil {
+		t.Error("validation without positives must be rejected")
+	}
+}

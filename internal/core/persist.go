@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"adrdedup/internal/rdd"
+)
+
+// modelVersion guards the on-disk format.
+const modelVersion = 1
+
+// modelFile is the serialized form of a trained classifier. Negative blocks
+// are stored per cluster so Load can rebuild the cluster-resident RDD
+// without re-running k-means.
+type modelFile struct {
+	Version      int
+	Config       Config
+	Dim          int
+	Centers      [][]float64
+	NegBlocks    [][]savedPair
+	Positives    []savedPair
+	PruneCenters [][]float64
+	PruneRadii   []float64
+}
+
+type savedPair struct {
+	Idx   int
+	Vec   []float64
+	Label int
+}
+
+// Save serializes the trained classifier (partitioning, negative blocks,
+// positives, pruning state) with encoding/gob. The engine context is not
+// part of the model; Load binds the model to a new context.
+func (c *Classifier) Save(w io.Writer) error {
+	mf := modelFile{
+		Version:      modelVersion,
+		Config:       c.cfg,
+		Dim:          c.dim,
+		Centers:      c.centers,
+		NegBlocks:    make([][]savedPair, 0, len(c.negSizes)),
+		Positives:    make([]savedPair, len(c.positives)),
+		PruneCenters: c.pruneCenters,
+		PruneRadii:   c.pruneRadii,
+	}
+	for i, p := range c.positives {
+		mf.Positives[i] = savedPair(p)
+	}
+	blocks, err := c.negBlocks.Collect()
+	if err != nil {
+		return fmt.Errorf("core: collecting negative blocks: %w", err)
+	}
+	ordered := make([][]savedPair, len(c.negSizes))
+	for _, kv := range blocks {
+		sp := make([]savedPair, len(kv.Value))
+		for i, p := range kv.Value {
+			sp[i] = savedPair(p)
+		}
+		ordered[kv.Key] = sp
+	}
+	mf.NegBlocks = ordered
+	if err := gob.NewEncoder(w).Encode(mf); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a classifier previously written by Save, binding it to
+// the given engine context. The loaded model classifies identically to the
+// saved one.
+func Load(ctx *rdd.Context, r io.Reader) (*Classifier, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("core: model version %d, want %d", mf.Version, modelVersion)
+	}
+	if len(mf.Centers) == 0 || mf.Dim <= 0 {
+		return nil, fmt.Errorf("core: corrupt model (dim=%d, centers=%d)", mf.Dim, len(mf.Centers))
+	}
+	c := &Classifier{
+		ctx:          ctx,
+		cfg:          mf.Config,
+		dim:          mf.Dim,
+		centers:      mf.Centers,
+		pruneCenters: mf.PruneCenters,
+		pruneRadii:   mf.PruneRadii,
+	}
+	for _, p := range mf.Positives {
+		c.positives = append(c.positives, ipair(p))
+	}
+	b := len(mf.NegBlocks)
+	c.negSizes = make([]int, b)
+	blocks := make([]rdd.Pair[int, []ipair], 0, b)
+	negByCluster := make([][]ipair, b)
+	for cl, saved := range mf.NegBlocks {
+		block := make([]ipair, len(saved))
+		for i, p := range saved {
+			block[i] = ipair(p)
+		}
+		c.negSizes[cl] = len(block)
+		c.totalNeg += len(block)
+		negByCluster[cl] = block
+		blocks = append(blocks, rdd.KV(cl, block))
+	}
+	if mf.Config.LocalIndex {
+		c.buildLocalIndexes(negByCluster)
+	}
+	avg := int64(1)
+	if b > 0 {
+		avg = int64(c.totalNeg/b+1) * int64(8*mf.Dim+16)
+	}
+	c.negBlocks = rdd.Parallelize(ctx, blocks, b).
+		SetName("T-neg.blocks(loaded)").
+		WithBytesPerRecord(avg).
+		Cache()
+	ctx.Cluster().Broadcast(int64(len(c.centers)) * int64(8*mf.Dim))
+	ctx.Cluster().Broadcast(int64(len(c.positives)) * int64(8*mf.Dim+8))
+	return c, nil
+}

@@ -1,0 +1,181 @@
+// Package eval computes precision-recall curves and the area under them
+// (AUPR), the paper's classification quality metric (§5.2.2, citing Davis &
+// Goadrich for PR analysis on highly imbalanced data).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one precision-recall operating point at a score threshold.
+type Point struct {
+	Threshold float64
+	Recall    float64
+	Precision float64
+}
+
+// ErrNoPositives is returned when the labels contain no positive examples,
+// for which recall is undefined.
+var ErrNoPositives = errors.New("eval: no positive labels")
+
+// PRCurve sweeps the decision threshold over the scores (descending) and
+// returns the precision-recall points. Tied scores are processed as one
+// group so the curve is threshold-consistent. Labels are +1/-1.
+func PRCurve(scores []float64, labels []int) ([]Point, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	totalPos := 0
+	for _, l := range labels {
+		if l > 0 {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return nil, ErrNoPositives
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var points []Point
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		j := i
+		threshold := scores[idx[i]]
+		for j < len(idx) && scores[idx[j]] == threshold {
+			if labels[idx[j]] > 0 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, Point{
+			Threshold: threshold,
+			Recall:    float64(tp) / float64(totalPos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+		i = j
+	}
+	return points, nil
+}
+
+// AUPR returns the area under the precision-recall curve, computed as
+// average precision (the step-wise integral that Davis & Goadrich recommend
+// over trapezoidal interpolation in PR space).
+func AUPR(scores []float64, labels []int) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	totalPos := 0
+	for _, l := range labels {
+		if l > 0 {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return 0, ErrNoPositives
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var ap float64
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		j := i
+		threshold := scores[idx[i]]
+		groupPos := 0
+		for j < len(idx) && scores[idx[j]] == threshold {
+			if labels[idx[j]] > 0 {
+				tp++
+				groupPos++
+			} else {
+				fp++
+			}
+			j++
+		}
+		if groupPos > 0 {
+			precision := float64(tp) / float64(tp+fp)
+			ap += precision * float64(groupPos)
+		}
+		i = j
+	}
+	return ap / float64(totalPos), nil
+}
+
+// Confusion counts outcomes at a fixed threshold: scores >= theta are
+// predicted positive.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// ConfusionAt computes the confusion counts at threshold theta.
+func ConfusionAt(scores []float64, labels []int, theta float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		predicted := s >= theta
+		actual := labels[i] > 0
+		switch {
+		case predicted && actual:
+			c.TP++
+		case predicted && !actual:
+			c.FP++
+		case !predicted && actual:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP / (TP + FP), or 0 when nothing was predicted
+// positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// WriteCurve renders a PR curve as tab-separated rows (threshold, recall,
+// precision) for plotting.
+func WriteCurve(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w, "threshold\trecall\tprecision"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.6g\t%.4f\t%.4f\n", p.Threshold, p.Recall, p.Precision); err != nil {
+			return err
+		}
+	}
+	return nil
+}

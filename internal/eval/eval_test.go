@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPRCurvePerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2, 0.1}
+	labels := []int{1, 1, -1, -1, -1}
+	points, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First point: threshold 0.9, 1 TP: precision 1, recall 0.5.
+	if points[0].Precision != 1 || points[0].Recall != 0.5 {
+		t.Errorf("first point = %+v", points[0])
+	}
+	// Second point: both positives found, no FP yet.
+	if points[1].Precision != 1 || points[1].Recall != 1 {
+		t.Errorf("second point = %+v", points[1])
+	}
+	// Last point: everything predicted positive.
+	last := points[len(points)-1]
+	if last.Recall != 1 || math.Abs(last.Precision-0.4) > 1e-12 {
+		t.Errorf("last point = %+v", last)
+	}
+	aupr, err := AUPR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aupr != 1 {
+		t.Errorf("perfect ranking AUPR = %v, want 1", aupr)
+	}
+}
+
+func TestAUPRWorstRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1}
+	labels := []int{-1, -1, -1, 1, 1}
+	aupr, err := AUPR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positives at ranks 4 and 5: AP = (1/4 + 2/5)/2 = 0.325.
+	if math.Abs(aupr-0.325) > 1e-12 {
+		t.Errorf("AUPR = %v, want 0.325", aupr)
+	}
+}
+
+func TestAUPRTiedScores(t *testing.T) {
+	// All scores tied: one group; precision = base rate; AP = base rate.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, -1, -1, -1}
+	aupr, err := AUPR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aupr-0.25) > 1e-12 {
+		t.Errorf("tied AUPR = %v, want 0.25", aupr)
+	}
+	points, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Errorf("tied scores should yield one PR point, got %d", len(points))
+	}
+}
+
+func TestRandomScoresApproachBaseRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = -1
+		if rng.Float64() < 0.05 {
+			labels[i] = 1
+		}
+	}
+	aupr, err := AUPR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aupr < 0.03 || aupr > 0.08 {
+		t.Errorf("random AUPR = %v, want near base rate 0.05", aupr)
+	}
+}
+
+func TestErrNoPositives(t *testing.T) {
+	if _, err := AUPR([]float64{1, 2}, []int{-1, -1}); err != ErrNoPositives {
+		t.Errorf("AUPR err = %v", err)
+	}
+	if _, err := PRCurve([]float64{1}, []int{-1}); err != ErrNoPositives {
+		t.Errorf("PRCurve err = %v", err)
+	}
+	if _, err := AUPR([]float64{1}, []int{1, 1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	scores := make([]float64, 500)
+	labels := make([]int, 500)
+	for i := range scores {
+		scores[i] = rng.NormFloat64()
+		if rng.Float64() < 0.1 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	points, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, p := range points {
+		if p.Recall < prev {
+			t.Fatal("recall decreased along the curve")
+		}
+		if p.Precision < 0 || p.Precision > 1 {
+			t.Fatalf("precision out of range: %v", p.Precision)
+		}
+		prev = p.Recall
+	}
+	if points[len(points)-1].Recall != 1 {
+		t.Error("curve must end at full recall")
+	}
+}
+
+func TestConfusionAndDerivedMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.6, 0.4, 0.1}
+	labels := []int{1, -1, 1, -1}
+	c := ConfusionAt(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("metrics = %v %v %v", c.Precision(), c.Recall(), c.F1())
+	}
+	empty := Confusion{}
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty confusion metrics must be 0")
+	}
+}
+
+func TestWriteCurve(t *testing.T) {
+	points := []Point{{Threshold: 0.5, Recall: 0.25, Precision: 0.75}}
+	var sb strings.Builder
+	if err := WriteCurve(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "threshold") || !strings.Contains(out, "0.2500\t0.7500") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBetterRankingHigherAUPR(t *testing.T) {
+	// Property: moving a positive up in the ranking never lowers AUPR.
+	scores := []float64{5, 4, 3, 2, 1}
+	worse := []int{-1, -1, 1, -1, 1}
+	better := []int{1, -1, -1, -1, 1}
+	a1, err := AUPR(scores, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AUPR(scores, better)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 <= a1 {
+		t.Errorf("better ranking AUPR %v <= worse %v", a2, a1)
+	}
+}

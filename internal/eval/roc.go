@@ -1,0 +1,89 @@
+package eval
+
+import "sort"
+
+// ROCPoint is one receiver-operating-characteristic operating point.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64 // false positive rate
+	TPR       float64 // true positive rate (recall)
+}
+
+// ROCCurve sweeps the decision threshold and returns the ROC points. The
+// paper cites Davis & Goadrich for preferring PR curves on imbalanced data;
+// ROC is provided so users can see the difference for themselves — a
+// classifier can look excellent in ROC space while its PR curve exposes the
+// precision collapse.
+func ROCCurve(scores []float64, labels []int) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, errLen(len(scores), len(labels))
+	}
+	totalPos, totalNeg := 0, 0
+	for _, l := range labels {
+		if l > 0 {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+	if totalPos == 0 {
+		return nil, ErrNoPositives
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var points []ROCPoint
+	tp, fp := 0, 0
+	i := 0
+	for i < len(idx) {
+		j := i
+		threshold := scores[idx[i]]
+		for j < len(idx) && scores[idx[j]] == threshold {
+			if labels[idx[j]] > 0 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		p := ROCPoint{Threshold: threshold, TPR: float64(tp) / float64(totalPos)}
+		if totalNeg > 0 {
+			p.FPR = float64(fp) / float64(totalNeg)
+		}
+		points = append(points, p)
+		i = j
+	}
+	return points, nil
+}
+
+// AUC returns the area under the ROC curve via trapezoidal integration
+// (valid in ROC space, unlike PR space). 0.5 is chance; 1 is perfect.
+func AUC(scores []float64, labels []int) (float64, error) {
+	points, err := ROCCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	area := 0.0
+	prev := ROCPoint{FPR: 0, TPR: 0}
+	for _, p := range points {
+		area += (p.FPR - prev.FPR) * (p.TPR + prev.TPR) / 2
+		prev = p
+	}
+	// Close the curve to (1, 1); with any negatives present the last
+	// point already sits there.
+	area += (1 - prev.FPR) * (1 + prev.TPR) / 2
+	return area, nil
+}
+
+func errLen(a, b int) error {
+	return lengthError{a, b}
+}
+
+type lengthError struct{ scores, labels int }
+
+func (e lengthError) Error() string {
+	return "eval: length mismatch between scores and labels"
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2}
+	labels := []int{1, 1, -1, -1}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("perfect AUC = %v, want 1", auc)
+	}
+	points, err := ROCCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve must end at (1,1), got %+v", last)
+	}
+}
+
+func TestROCWorstRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2}
+	labels := []int{-1, -1, 1, 1}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = -1
+		if rng.Float64() < 0.05 {
+			labels[i] = 1
+		}
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCvsPROnImbalance(t *testing.T) {
+	// The Davis & Goadrich point the paper cites: with heavy imbalance, a
+	// mediocre ranker keeps a high AUC while AUPR exposes it.
+	rng := rand.New(rand.NewSource(4))
+	var scores []float64
+	var labels []int
+	for i := 0; i < 100; i++ { // positives score high-ish
+		scores = append(scores, 0.6+0.3*rng.Float64())
+		labels = append(labels, 1)
+	}
+	for i := 0; i < 10000; i++ { // negatives broadly lower, long tail up
+		scores = append(scores, rng.Float64())
+		labels = append(labels, -1)
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aupr, err := AUPR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("AUC = %v; scenario mis-built", auc)
+	}
+	if aupr > auc-0.2 {
+		t.Errorf("AUPR (%v) should sit far below AUC (%v) under imbalance", aupr, auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROCCurve([]float64{1}, []int{-1}); err != ErrNoPositives {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := AUC([]float64{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	// All-positive labels: FPR undefined but curve must not panic.
+	points, err := ROCCurve([]float64{0.5, 0.4}, []int{1, 1})
+	if err != nil || len(points) == 0 {
+		t.Errorf("all-positive curve: %v, %v", points, err)
+	}
+}
+
+func TestAUCTiedScores(t *testing.T) {
+	// All tied: one diagonal step; AUC = 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, -1, 1, -1}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}

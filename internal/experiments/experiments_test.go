@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adrdedup/internal/cluster"
+)
+
+// testEnv builds a small, fast environment shared across tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Cluster: cluster.Config{Executors: 8, CoresPerExecutor: 1, SchedulerOverheadMS: 2, ShuffleLatencyMS: 1},
+		Corpus:  SmallCorpus(1),
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestBuildPairDataShape(t *testing.T) {
+	env := testEnv(t)
+	data, err := env.BuildPairData(5000, 1000, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Train) != 5000 || len(data.TestVecs) != 1000 || len(data.TestLabels) != 1000 {
+		t.Fatalf("sizes: %d/%d/%d", len(data.Train), len(data.TestVecs), len(data.TestLabels))
+	}
+	trainPos, testPos := 0, 0
+	for _, p := range data.Train {
+		if p.Label == +1 {
+			trainPos++
+		}
+	}
+	for _, l := range data.TestLabels {
+		if l == +1 {
+			testPos++
+		}
+	}
+	if trainPos != len(env.TrainDups) {
+		t.Errorf("train positives = %d, want %d", trainPos, len(env.TrainDups))
+	}
+	if testPos != len(env.TestDups) {
+		t.Errorf("test positives = %d, want %d", testPos, len(env.TestDups))
+	}
+}
+
+func TestFig5ShapeKNNBeatsSVM(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig5(env, Fig5Params{TrainSizes: []int{20_000, 40_000}, TestSize: 5_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.AUPRKNN <= p.AUPRSVM {
+			t.Errorf("train=%d: kNN AUPR %.3f not above SVM %.3f (paper's headline result)",
+				p.TrainPairs, p.AUPRKNN, p.AUPRSVM)
+		}
+		if p.AUPRKNN < 0.5 {
+			t.Errorf("kNN AUPR %.3f unreasonably low", p.AUPRKNN)
+		}
+	}
+	if res.ImprovementOverSVM <= 0 {
+		t.Errorf("mean improvement = %.3f, want positive", res.ImprovementOverSVM)
+	}
+	if res.CurveLargest["kNN"] == nil || res.CurveSmall["SVM"] == nil {
+		t.Error("PR curves missing")
+	}
+}
+
+func TestFig6ShapeFlatAUPRGrowingTime(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig6(env, Fig6Params{
+		Ks: []int{5, 13, 21}, TrainSize: 40_000, TestSize: 4_000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Fig. 6(a): AUPR varies little with k.
+	lo, hi := points[0].AUPR, points[0].AUPR
+	for _, p := range points {
+		if p.AUPR < lo {
+			lo = p.AUPR
+		}
+		if p.AUPR > hi {
+			hi = p.AUPR
+		}
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("AUPR swing %.3f-%.3f too large; paper reports insensitivity to k", lo, hi)
+	}
+	// Fig. 6(b): larger k means more partitions checked.
+	if points[2].CrossChecked < points[0].CrossChecked {
+		t.Errorf("k=21 checked %d additional clusters, k=5 checked %d; want non-decreasing",
+			points[2].CrossChecked, points[0].CrossChecked)
+	}
+}
+
+func TestFig7ShapeComparisonTradeoff(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig7(env, Fig7Params{
+		Bs: []int{5, 20, 40}, TrainSize: 40_000, TestSize: 4_000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 7(a): intra-cluster comparisons decrease with b.
+	if points[2].IntraClusterComparisons >= points[0].IntraClusterComparisons {
+		t.Errorf("intra comparisons should fall with b: %d (b=5) -> %d (b=40)",
+			points[0].IntraClusterComparisons, points[2].IntraClusterComparisons)
+	}
+	// Fig. 7(b): additional clusters checked increase with b.
+	if points[2].AdditionalClustersChecked <= points[0].AdditionalClustersChecked {
+		t.Errorf("additional clusters should grow with b: %d (b=5) -> %d (b=40)",
+			points[0].AdditionalClustersChecked, points[2].AdditionalClustersChecked)
+	}
+	// Fig. 8(a): the cross/intra ratio stays small.
+	for _, p := range points {
+		if p.CrossIntraRatio > 0.5 {
+			t.Errorf("b=%d: cross/intra ratio %.3f too large", p.B, p.CrossIntraRatio)
+		}
+	}
+}
+
+func TestFig7MemoryPressureAtSmallB(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig7(env, Fig7Params{
+		Bs: []int{4, 40}, TrainSize: 60_000, TestSize: 2_000, Seed: 6,
+		PressureMemoryMB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].PressureEvents == 0 {
+		t.Error("small b should overrun 1MB executors (Fig. 8(b) regime)")
+	}
+	if points[1].PressureEvents > points[0].PressureEvents {
+		t.Error("large b should relieve memory pressure")
+	}
+}
+
+func TestFig9ShapeSublinearGrowth(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig9(env, Fig9Params{
+		TrainSizes:   []int{20_000, 60_000},
+		BlockNumbers: []int{4, 8},
+		TestSize:     3_000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Time grows with training size per block number.
+	byBlock := map[int][]Fig9Point{}
+	for _, p := range points {
+		byBlock[p.BlockNumber] = append(byBlock[p.BlockNumber], p)
+	}
+	for c, ps := range byBlock {
+		if ps[1].ExecutionTime <= ps[0].ExecutionTime/2 {
+			t.Errorf("block=%d: time did not grow with training size: %v -> %v",
+				c, ps[0].ExecutionTime, ps[1].ExecutionTime)
+		}
+	}
+}
+
+func TestFig10ShapeExecutorScaling(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig10(env, Fig10Params{
+		Executors:     []int{2, 16},
+		TrainSizes:    []int{60_000},
+		TestSize:      4_000,
+		DistancePairs: 20_000,
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].ExecutionTime >= points[0].ExecutionTime {
+		t.Errorf("16 executors (%v) not faster than 2 (%v)",
+			points[1].ExecutionTime, points[0].ExecutionTime)
+	}
+	if points[1].DistanceTime >= points[0].DistanceTime {
+		t.Errorf("distance stage should speed up with executors: %v -> %v",
+			points[0].DistanceTime, points[1].DistanceTime)
+	}
+	// Fig. 10(b): the distance stage is a small share of the total.
+	if points[0].DistanceTime > points[0].ExecutionTime {
+		t.Errorf("distance time %v exceeds classification time %v",
+			points[0].DistanceTime, points[0].ExecutionTime)
+	}
+}
+
+func TestFig11ShapePruningNeverLosesDuplicates(t *testing.T) {
+	env := testEnv(t)
+	points, err := Fig11(env, Fig11Params{
+		Thresholds: []float64{0.3, 0.9},
+		TrainSize:  20_000, TestSize: 5_000,
+		PositiveClusters: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	baseline := points[0]
+	if baseline.Threshold != -1 || baseline.IncludedFraction != 1 {
+		t.Errorf("baseline row = %+v", baseline)
+	}
+	// Tighter thresholds include fewer pairs; generous thresholds
+	// approach 100%.
+	if points[1].IncludedFraction > points[2].IncludedFraction {
+		t.Errorf("0.3 includes %.2f but 0.9 includes %.2f; want monotone",
+			points[1].IncludedFraction, points[2].IncludedFraction)
+	}
+	if points[1].IncludedFraction >= 0.999 {
+		t.Error("threshold 0.3 pruned nothing; sweep is vacuous")
+	}
+	// The paper reports no true duplicate pruned at any threshold; at
+	// this test's reduced scale (40 training positives instead of ~140)
+	// the positive clusters under-cover the duplicate modes, so we assert
+	// the paper's property at the generous threshold and bound the loss
+	// at the tight one.
+	testPos := len(env.TestDups)
+	if last := points[len(points)-1]; last.TrueDuplicatesPruned != 0 {
+		t.Errorf("f(theta)=%.1f pruned %d true duplicates; paper reports none",
+			last.Threshold, last.TrueDuplicatesPruned)
+	}
+	if tight := points[1]; tight.TrueDuplicatesPruned > testPos/4 {
+		t.Errorf("f(theta)=%.1f pruned %d of %d true duplicates",
+			tight.Threshold, tight.TrueDuplicatesPruned, testPos)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	env := testEnv(t)
+	rows, err := Ablation(env, AblationParams{TrainSize: 30_000, TestSize: 4_000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	full := byName["fast-knn"]
+	// Weighted scoring and majority voting trade blows on rank-based AUPR
+	// (weighting wins on decision quality, where magnitudes matter); the
+	// guard here is that weighting is never materially worse.
+	if full.AUPR < byName["majority-vote"].AUPR-0.05 {
+		t.Errorf("weighted scoring (%.3f) far below majority vote (%.3f)",
+			full.AUPR, byName["majority-vote"].AUPR)
+	}
+	if byName["no-partition-pruning"].CrossClusterComparisons <= full.CrossClusterComparisons {
+		t.Error("disabling Algorithm 1 should increase cross-cluster comparisons")
+	}
+	if byName["random-partition"].CrossClusterComparisons <= full.CrossClusterComparisons {
+		t.Error("random partitioning should increase cross-cluster comparisons")
+	}
+}
+
+func TestTextMetricAblation(t *testing.T) {
+	env := testEnv(t)
+	rows, err := TextMetricAblation(env, AblationParams{TrainSize: 20_000, TestSize: 3_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Metric != "jaccard" || rows[1].Metric != "cosine" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.AUPR < 0.3 || r.AUPR > 1 {
+			t.Errorf("%s AUPR = %.3f out of plausible range", r.Metric, r.AUPR)
+		}
+	}
+}
+
+func TestLoadBalanceLPTNotWorse(t *testing.T) {
+	env := testEnv(t)
+	rows, err := LoadBalance(env, LoadBalanceParams{
+		TrainSize: 40_000, TestSize: 3_000, B: 24, Executors: 8, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy != "fifo" || rows[1].Policy != "lpt" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// LPT packs the straggler clusters first; on skewed Voronoi cells it
+	// should not be materially slower than FIFO. Task durations are
+	// measured real time, so the two runs execute (and time) the
+	// workload independently — under host CPU contention either run can
+	// measure arbitrarily slower, so only a loose sanity bound is
+	// asserted here; the deterministic makespan guarantee (LPT never
+	// worse on identical durations, optimal on the adversarial example)
+	// is covered by the scheduler unit tests in internal/cluster.
+	if float64(rows[1].ExecutionTime) > 3*float64(rows[0].ExecutionTime) {
+		t.Errorf("LPT (%v) wildly slower than FIFO (%v)", rows[1].ExecutionTime, rows[0].ExecutionTime)
+	}
+	for _, row := range rows {
+		if row.ExecutionTime <= 0 {
+			t.Errorf("policy %s reported no execution time", row.Policy)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	env := testEnv(t)
+	var sb strings.Builder
+	if err := Table1(&sb, env.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "channel-overlap") || !strings.Contains(sb.String(), "follow-up") {
+		t.Error("Table 1 missing a duplicate mode exhibit")
+	}
+
+	sb.Reset()
+	Table2(&sb)
+	if !strings.Contains(sb.String(), "MedDRA PT code") || !strings.Contains(sb.String(), "report description") {
+		t.Error("Table 2 missing fields")
+	}
+
+	res, err := Table3(env.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.NumCases != 2000 || res.DuplicatePairs != 80 {
+		t.Errorf("table 3 = %+v", res)
+	}
+	sb.Reset()
+	WriteTable3(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "Known duplicate pairs") || !strings.Contains(out, "80") {
+		t.Errorf("table 3 output:\n%s", out)
+	}
+}

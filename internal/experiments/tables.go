@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"adrdedup/internal/adr"
+	"adrdedup/internal/adrgen"
+)
+
+// Table1 prints one generated duplicate pair per perturbation mode, mirroring
+// the paper's Table 1 exhibits of field-level discrepancies.
+func Table1(w io.Writer, corpus *adrgen.Corpus) error {
+	byMode := map[adrgen.DuplicateMode]*adrgen.DuplicatePair{}
+	for i := range corpus.Duplicates {
+		d := &corpus.Duplicates[i]
+		if byMode[d.Mode] == nil {
+			byMode[d.Mode] = d
+		}
+	}
+	for _, mode := range []adrgen.DuplicateMode{adrgen.ChannelOverlap, adrgen.FollowUp} {
+		d := byMode[mode]
+		if d == nil {
+			continue
+		}
+		a, b := corpus.Reports[d.IdxA], corpus.Reports[d.IdxB]
+		fmt.Fprintf(w, "--- duplicate pair (%s) ---\n", mode)
+		rows := []struct {
+			name string
+			av   string
+			bv   string
+		}{
+			{"patient age", fmt.Sprint(a.CalculatedAge), fmt.Sprint(b.CalculatedAge)},
+			{"patient sex", a.Sex, b.Sex},
+			{"patient state", a.ResidentialState, b.ResidentialState},
+			{"onset date", a.OnsetDate, b.OnsetDate},
+			{"reaction outcome description", a.ReactionOutcomeDesc, b.ReactionOutcomeDesc},
+			{"drug name", a.GenericNameDesc, b.GenericNameDesc},
+			{"ADR name", a.MedDRAPTName, b.MedDRAPTName},
+			{"report description", truncate(a.ReportDescription, 90), truncate(b.ReportDescription, 90)},
+		}
+		for _, r := range rows {
+			marker := " "
+			if r.av != r.bv {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "%s %-30s | %-50s | %s\n", marker, r.name, r.av, r.bv)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// Table2 prints the 37-field TGA schema with the selected (bold-in-paper)
+// fields marked.
+func Table2(w io.Writer) {
+	fmt.Fprintf(w, "%-4s %-22s %-38s %-12s %s\n", "#", "group", "field", "type", "selected")
+	for i, f := range adr.Schema() {
+		sel := ""
+		if f.Selected {
+			sel = "yes"
+		}
+		fmt.Fprintf(w, "%-4d %-22s %-38s %-12s %s\n", i+1, f.Group, f.Name, f.Type, sel)
+	}
+}
+
+// Table3Result mirrors the paper's dataset summary.
+type Table3Result struct {
+	Summary        adr.Summary
+	DuplicatePairs int
+}
+
+// Table3 computes the dataset summary over a corpus.
+func Table3(corpus *adrgen.Corpus) (Table3Result, error) {
+	db := adr.NewDatabase()
+	for _, r := range corpus.Reports {
+		r.ArrivalSeq = 0
+		if err := db.Add(r); err != nil {
+			return Table3Result{}, err
+		}
+	}
+	return Table3Result{
+		Summary:        db.Summarize(),
+		DuplicatePairs: len(corpus.Duplicates),
+	}, nil
+}
+
+// WriteTable3 renders the summary in the paper's layout.
+func WriteTable3(w io.Writer, r Table3Result) {
+	rows := [][2]string{
+		{"Report Period", r.Summary.ReportPeriod},
+		{"Number of cases", fmt.Sprint(r.Summary.NumCases)},
+		{"Number of fields per report", fmt.Sprint(r.Summary.NumFields)},
+		{"Number of unique drugs", fmt.Sprint(r.Summary.UniqueDrugs)},
+		{"Number of unique ADRs", fmt.Sprint(r.Summary.UniqueADRs)},
+		{"Known duplicate pairs", fmt.Sprint(r.DuplicatePairs)},
+	}
+	width := 0
+	for _, row := range rows {
+		if len(row[0]) > width {
+			width = len(row[0])
+		}
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s%s  %s\n", row[0], strings.Repeat(" ", width-len(row[0])), row[1])
+	}
+}

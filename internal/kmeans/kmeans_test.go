@@ -1,0 +1,198 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adrdedup/internal/vecmath"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]float64
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestRunRecoversWellSeparatedBlobs(t *testing.T) {
+	trueCenters := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	data := blobs(trueCenters, 100, 0.5, 1)
+	res, err := Run(data, 3, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+	// Every true center must be within 1.0 of some found center.
+	for _, tc := range trueCenters {
+		best := math.Inf(1)
+		for _, c := range res.Centers {
+			if d := vecmath.Dist(tc, c); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("no recovered center near %v (closest %.2f)", tc, best)
+		}
+	}
+	for _, s := range res.Sizes {
+		if s < 80 || s > 120 {
+			t.Errorf("cluster size %d far from 100", s)
+		}
+	}
+}
+
+func TestVoronoiProperty(t *testing.T) {
+	// Each point must be assigned to its nearest center — the property
+	// Algorithm 1's hyperplane bound depends on.
+	data := blobs([][]float64{{0, 0}, {5, 5}, {10, 0}, {0, 10}}, 50, 1.5, 2)
+	res, err := Run(data, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		want, _ := vecmath.ArgMinDist(v, res.Centers)
+		if res.Assign[i] != want {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], want)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	data := blobs([][]float64{{0, 0}, {8, 8}}, 200, 1, 5)
+	a, err := Run(data, 5, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(data, 5, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Centers, b.Centers) || !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Error("same seed produced different clusterings")
+	}
+}
+
+func TestKLargerThanData(t *testing.T) {
+	data := [][]float64{{0}, {1}, {2}}
+	res, err := Run(data, 10, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Errorf("centers = %d, want clamped to 3", len(res.Centers))
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("inertia = %v, want 0 when every point is a center", res.Inertia)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(nil, 3, Options{}); err != ErrNoData {
+		t.Errorf("empty data error = %v", err)
+	}
+	if _, err := Run([][]float64{{1}}, 0, Options{}); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := Run([][]float64{{1}, {1, 2}}, 1, Options{}); err == nil {
+		t.Error("expected error for ragged dims")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{3, 3}
+	}
+	res, err := Run(data, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("inertia = %v on identical points", res.Inertia)
+	}
+}
+
+func TestSizesSumAndAssignRange(t *testing.T) {
+	data := blobs([][]float64{{0, 0, 0}, {4, 4, 4}}, 75, 1, 11)
+	k := 6
+	res, err := Run(data, k, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum to %d, want %d", total, len(data))
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= k {
+			t.Fatalf("assign[%d] = %d out of range", i, a)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	data := blobs([][]float64{{0, 0}, {6, 0}, {0, 6}, {6, 6}}, 60, 1.2, 17)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := Run(data, k, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.001 {
+			t.Errorf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestRadii(t *testing.T) {
+	data := [][]float64{{0, 0}, {0, 2}, {10, 0}, {10, 4}}
+	res, err := Run(data, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii := Radii(data, res)
+	if len(radii) != 2 {
+		t.Fatalf("radii = %v", radii)
+	}
+	for c, r := range radii {
+		// Radius must cover every member of the cluster.
+		for i, v := range data {
+			if res.Assign[i] != c {
+				continue
+			}
+			if d := vecmath.Dist(v, res.Centers[c]); d > r+1e-9 {
+				t.Errorf("member %d at distance %v exceeds radius %v", i, d, r)
+			}
+		}
+	}
+}
+
+func TestEmptyClusterRepair(t *testing.T) {
+	// Two far blobs, k=3: one cluster will start empty at some point; the
+	// repair must keep all k centers usable and the run must terminate.
+	data := blobs([][]float64{{0, 0}, {100, 100}}, 30, 0.1, 21)
+	res, err := Run(data, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Errorf("centers = %d", len(res.Centers))
+	}
+}

@@ -1,0 +1,185 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/rdd"
+)
+
+func randVecs(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestQueryExactSmall(t *testing.T) {
+	train := [][]float64{{0}, {1}, {2}, {3}, {10}}
+	labels := []int{1, -1, 1, -1, 1}
+	got := Query([]float64{1.4}, train, labels, 3)
+	wantIdx := []int{1, 2, 0}
+	for i, n := range got {
+		if n.Index != wantIdx[i] {
+			t.Errorf("neighbor %d = index %d, want %d", i, n.Index, wantIdx[i])
+		}
+		if n.Label != labels[n.Index] {
+			t.Errorf("neighbor %d label mismatch", i)
+		}
+	}
+	if got[0].Dist >= got[1].Dist || got[1].Dist >= got[2].Dist {
+		t.Error("neighbors not in ascending distance order")
+	}
+}
+
+func TestQueryTieBreaksByIndex(t *testing.T) {
+	train := [][]float64{{1}, {1}, {1}, {1}}
+	got := Query([]float64{0}, train, nil, 2)
+	if got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("tie break wrong: %v", got)
+	}
+}
+
+func TestBruteForceMatchesQuery(t *testing.T) {
+	train := randVecs(300, 5, 1)
+	queries := randVecs(40, 5, 2)
+	labels := make([]int, len(train))
+	for i := range labels {
+		labels[i] = 1 - 2*(i%2)
+	}
+	got := BruteForce(queries, train, labels, 7)
+	for i, q := range queries {
+		want := Query(q, train, labels, 7)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	a := []Neighbor{{Index: 1, Dist: 0.1}, {Index: 2, Dist: 0.2}}
+	b := []Neighbor{{Index: 1, Dist: 0.1}, {Index: 3, Dist: 0.05}}
+	got := Merge(3, a, b)
+	if len(got) != 3 {
+		t.Fatalf("merged = %v", got)
+	}
+	if got[0].Index != 3 || got[1].Index != 1 || got[2].Index != 2 {
+		t.Errorf("merge order wrong: %v", got)
+	}
+}
+
+func TestNaiveJoinMatchesBruteForce(t *testing.T) {
+	trainVecs := randVecs(400, 4, 3)
+	queryVecs := randVecs(60, 4, 4)
+	train := make([]Item, len(trainVecs))
+	for i, v := range trainVecs {
+		train[i] = Item{ID: i, Vec: v, Label: 1 - 2*(i%2)}
+	}
+	queries := make([]Item, len(queryVecs))
+	for i, v := range queryVecs {
+		queries[i] = Item{ID: 1000 + i, Vec: v}
+	}
+	labels := make([]int, len(train))
+	for i := range labels {
+		labels[i] = train[i].Label
+	}
+
+	ctx := rdd.NewContext(cluster.New(cluster.Config{Executors: 4}))
+	const k = 5
+	got, err := NaiveJoin(ctx, queries, train, k, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(queryVecs, trainVecs, labels, k)
+	if len(got) != len(queries) {
+		t.Fatalf("results for %d queries, want %d", len(got), len(queries))
+	}
+	for i := range queries {
+		g := got[1000+i]
+		w := want[i]
+		if len(g) != len(w) {
+			t.Fatalf("query %d: %d neighbors, want %d", i, len(g), len(w))
+		}
+		for j := range g {
+			if g[j].Index != w[j].Index || math.Abs(g[j].Dist-w[j].Dist) > 1e-12 {
+				t.Fatalf("query %d neighbor %d: got %+v want %+v", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestNaiveJoinUnderFaultInjection(t *testing.T) {
+	trainVecs := randVecs(200, 3, 5)
+	queryVecs := randVecs(20, 3, 6)
+	train := make([]Item, len(trainVecs))
+	for i, v := range trainVecs {
+		train[i] = Item{ID: i, Vec: v, Label: 1}
+	}
+	queries := make([]Item, len(queryVecs))
+	for i, v := range queryVecs {
+		queries[i] = Item{ID: i, Vec: v}
+	}
+	run := func(rate float64) map[int][]Neighbor {
+		ctx := rdd.NewContext(cluster.New(cluster.Config{
+			Executors: 4, FailureRate: rate, MaxTaskRetries: 40, Seed: 8,
+		}))
+		got, err := NaiveJoin(ctx, queries, train, 4, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	clean := run(0)
+	faulty := run(0.25)
+	for id, w := range clean {
+		g := faulty[id]
+		if len(g) != len(w) {
+			t.Fatalf("query %d: %d vs %d neighbors", id, len(g), len(w))
+		}
+		for j := range g {
+			if g[j].Index != w[j].Index {
+				t.Fatalf("fault injection changed query %d neighbor %d", id, j)
+			}
+		}
+	}
+}
+
+func TestNaiveJoinShufflesEveryBlockPair(t *testing.T) {
+	// The cost the paper's method avoids: naive join compares |S| x |T|.
+	trainVecs := randVecs(100, 2, 9)
+	queryVecs := randVecs(10, 2, 10)
+	train := make([]Item, len(trainVecs))
+	for i, v := range trainVecs {
+		train[i] = Item{ID: i, Vec: v}
+	}
+	queries := make([]Item, len(queryVecs))
+	for i, v := range queryVecs {
+		queries[i] = Item{ID: i, Vec: v}
+	}
+	ctx := rdd.NewContext(cluster.New(cluster.Config{Executors: 4}))
+	if _, err := NaiveJoin(ctx, queries, train, 3, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c := ctx.Cluster().Metrics().Comparisons.Load(); c != 1000 {
+		t.Errorf("comparisons = %d, want 10*100", c)
+	}
+}
+
+func TestBoundedResultsSortedAscending(t *testing.T) {
+	train := randVecs(500, 6, 11)
+	q := randVecs(1, 6, 12)[0]
+	got := Query(q, train, nil, 20)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return Less(got[i], got[j]) }) {
+		t.Error("neighbors not sorted")
+	}
+}

@@ -1,0 +1,176 @@
+package pairdist
+
+import (
+	"math"
+	"testing"
+
+	"adrdedup/internal/adr"
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/rdd"
+)
+
+func reportA() adr.Report {
+	return adr.Report{
+		CaseNumber:        "A",
+		CalculatedAge:     46,
+		Sex:               "M",
+		ResidentialState:  "NSW",
+		OnsetDate:         "30/04/2013 00:00:00",
+		GenericNameDesc:   "Atorvastatin",
+		MedDRAPTName:      "Rhabdomyolysis",
+		ReportDescription: "The patient experienced rhabdomyolysis while on atorvastatin.",
+	}
+}
+
+func TestDistanceIdenticalReportsIsZero(t *testing.T) {
+	f := Extract(reportA())
+	v := Distance(f, f)
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("dim %d (%s) = %v, want 0", i, FieldNames[i], x)
+		}
+	}
+}
+
+func TestDistanceFieldRules(t *testing.T) {
+	a := reportA()
+	b := reportA()
+	b.CalculatedAge = 84
+	b.Sex = "F"
+	b.ResidentialState = "VIC"
+	b.OnsetDate = "-"
+	b.GenericNameDesc = "Paracetamol"
+	b.MedDRAPTName = "Headache"
+	b.ReportDescription = "Completely different narrative about an unrelated medicine event entirely."
+	v := Distance(Extract(a), Extract(b))
+	for i := FieldAge; i <= FieldOnsetDate; i++ {
+		if v[i] != 1 {
+			t.Errorf("categorical dim %d = %v, want 1", i, v[i])
+		}
+	}
+	if v[FieldDrugName] != 1 || v[FieldADRName] != 1 {
+		t.Errorf("disjoint sets should have Jaccard distance 1: %v", v)
+	}
+	if v[FieldDescription] <= 0.5 {
+		t.Errorf("unrelated descriptions distance = %v, want > 0.5", v[FieldDescription])
+	}
+}
+
+func TestDistancePartialOverlapInLists(t *testing.T) {
+	a := reportA()
+	a.MedDRAPTName = "Vomiting,Pyrexia,Cough,Headache"
+	b := reportA()
+	b.MedDRAPTName = "Cough,Headache,Choking sensation,Chills,Vomiting"
+	v := Distance(Extract(a), Extract(b))
+	// Overlap = {Vomiting, Cough, Headache} = 3; union = 6; distance = 0.5.
+	if math.Abs(v[FieldADRName]-0.5) > 1e-12 {
+		t.Errorf("ADR Jaccard distance = %v, want 0.5", v[FieldADRName])
+	}
+}
+
+func TestDistanceRangeAndSymmetry(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{NumReports: 100, DuplicatePairs: 10, NumDrugs: 30, NumADRs: 40, Seed: 2})
+	feats := make([]Features, len(c.Reports))
+	for i, r := range c.Reports {
+		feats[i] = Extract(r)
+	}
+	for i := 0; i < 50; i++ {
+		a, b := feats[i], feats[99-i]
+		v1 := Distance(a, b)
+		v2 := Distance(b, a)
+		for d := 0; d < Dims; d++ {
+			if v1[d] < 0 || v1[d] > 1 {
+				t.Fatalf("dim %d out of range: %v", d, v1[d])
+			}
+			if math.Abs(v1[d]-v2[d]) > 1e-12 {
+				t.Fatalf("asymmetric at dim %d", d)
+			}
+		}
+	}
+}
+
+func TestDuplicatesCloserThanRandomPairs(t *testing.T) {
+	// The property the whole system rests on: ground-truth duplicates have
+	// systematically smaller distance vectors than random pairs.
+	c := adrgen.Generate(adrgen.Config{NumReports: 400, DuplicatePairs: 40, NumDrugs: 80, NumADRs: 120, Seed: 3})
+	feats := make([]Features, len(c.Reports))
+	for i, r := range c.Reports {
+		feats[i] = Extract(r)
+	}
+	zero := make([]float64, Dims)
+	var dupMean, randMean float64
+	for _, d := range c.Duplicates {
+		dupMean += VectorDist(Distance(feats[d.IdxA], feats[d.IdxB]), zero)
+	}
+	dupMean /= float64(len(c.Duplicates))
+	n := 0
+	for i := 0; i < 200; i += 2 {
+		if c.IsDuplicatePair(i, i+1) {
+			continue
+		}
+		randMean += VectorDist(Distance(feats[i], feats[i+1]), zero)
+		n++
+	}
+	randMean /= float64(n)
+	if dupMean >= randMean*0.7 {
+		t.Errorf("duplicate mean norm %v not clearly below random mean %v", dupMean, randMean)
+	}
+}
+
+func TestMaxVectorDist(t *testing.T) {
+	want := math.Sqrt(Dims)
+	if math.Abs(MaxVectorDist-want) > 1e-12 {
+		t.Errorf("MaxVectorDist = %v, want sqrt(%d)", MaxVectorDist, Dims)
+	}
+}
+
+func TestExtractAllMatchesSerial(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{NumReports: 120, DuplicatePairs: 5, NumDrugs: 20, NumADRs: 30, Seed: 4})
+	ctx := rdd.NewContext(cluster.New(cluster.Config{Executors: 4}))
+	got, err := ExtractAll(ctx, c.Reports, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(c.Reports) {
+		t.Fatalf("features = %d", len(got))
+	}
+	for i, r := range c.Reports {
+		want := Extract(r)
+		if got[i].Age != want.Age || got[i].Sex != want.Sex ||
+			len(got[i].DescTokens) != len(want.DescTokens) {
+			t.Fatalf("feature %d mismatch", i)
+		}
+	}
+}
+
+func TestComputeVectors(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{NumReports: 100, DuplicatePairs: 8, NumDrugs: 20, NumADRs: 30, Seed: 5})
+	ctx := rdd.NewContext(cluster.New(cluster.Config{Executors: 4}))
+	feats, err := ExtractAll(ctx, c.Reports, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []IDPair{{A: 0, B: 1, Label: -1}, {A: 2, B: 3, Label: -1}, {A: 4, B: 5}}
+	recs, err := ComputeVectors(ctx, feats, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.A != pairs[i].A || r.B != pairs[i].B || r.Label != pairs[i].Label {
+			t.Errorf("record %d identity mismatch: %+v", i, r)
+		}
+		want := Distance(feats[r.A], feats[r.B])
+		for d := 0; d < Dims; d++ {
+			if math.Abs(r.Vec[d]-want[d]) > 1e-12 {
+				t.Errorf("record %d dim %d = %v, want %v", i, d, r.Vec[d], want[d])
+			}
+		}
+	}
+	if ctx.Cluster().Metrics().Comparisons.Load() != 3 {
+		t.Errorf("comparisons metric = %d", ctx.Cluster().Metrics().Comparisons.Load())
+	}
+}

@@ -1,0 +1,89 @@
+package pairdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// featFromRaw builds a Features value from fuzz inputs.
+func featFromRaw(age uint8, sex, state, onset bool, drugs, adrs, tokens []uint8) Features {
+	word := func(v uint8) string { return string(rune('a' + v%20)) }
+	mk := func(vs []uint8) []string {
+		out := make([]string, 0, len(vs))
+		for _, v := range vs {
+			out = append(out, word(v))
+		}
+		return out
+	}
+	f := Features{Age: int(age), DrugSet: mk(drugs), ADRSet: mk(adrs), DescTokens: mk(tokens)}
+	if sex {
+		f.Sex = "M"
+	} else {
+		f.Sex = "F"
+	}
+	if state {
+		f.State = "NSW"
+	} else {
+		f.State = "VIC"
+	}
+	if onset {
+		f.OnsetDate = "30/04/2013 00:00:00"
+	} else {
+		f.OnsetDate = "-"
+	}
+	return f
+}
+
+func TestDistancePropertyRangeSymmetryIdentity(t *testing.T) {
+	f := func(age1, age2 uint8, sex1, sex2, st1, st2, on1, on2 bool,
+		d1, d2, a1, a2, t1, t2 []uint8) bool {
+		fa := featFromRaw(age1, sex1, st1, on1, d1, a1, t1)
+		fb := featFromRaw(age2, sex2, st2, on2, d2, a2, t2)
+		for _, m := range []TextMetric{JaccardMetric, CosineMetric} {
+			ab := DistanceWith(fa, fb, m)
+			ba := DistanceWith(fb, fa, m)
+			self := DistanceWith(fa, fa, m)
+			for d := 0; d < Dims; d++ {
+				if ab[d] < 0 || ab[d] > 1+1e-9 {
+					return false
+				}
+				if math.Abs(ab[d]-ba[d]) > 1e-9 {
+					return false
+				}
+				if self[d] > 1e-9 {
+					return false
+				}
+			}
+			if VectorDist(ab, ba) > 1e-9 {
+				return false
+			}
+			if VectorDist(ab, ab) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorDistBoundedByMax(t *testing.T) {
+	f := func(age1, age2 uint8, d1, d2 []uint8) bool {
+		fa := featFromRaw(age1, true, true, true, d1, d1, d1)
+		fb := featFromRaw(age2, false, false, false, d2, d2, d2)
+		v1 := Distance(fa, fb)
+		zero := make([]float64, Dims)
+		return VectorDist(v1, zero) <= MaxVectorDist+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextMetricStrings(t *testing.T) {
+	if JaccardMetric.String() != "jaccard" || CosineMetric.String() != "cosine" {
+		t.Error("metric names wrong")
+	}
+}

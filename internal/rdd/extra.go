@@ -1,0 +1,155 @@
+package rdd
+
+import (
+	"fmt"
+
+	"adrdedup/internal/cluster"
+)
+
+// Option wraps an optional value for outer joins (Go has no built-in
+// optional; nil pointers don't compose with value types).
+type Option[T any] struct {
+	Value T
+	OK    bool
+}
+
+// Some wraps a present value.
+func Some[T any](v T) Option[T] { return Option[T]{Value: v, OK: true} }
+
+// None is the absent value.
+func None[T any]() Option[T] { return Option[T]{} }
+
+// LeftOuterJoin joins two keyed RDDs keeping every left record: right values
+// are wrapped in an Option that is empty when the key has no match.
+func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPartitions int) *RDD[Pair[K, Tuple2[V, Option[W]]]] {
+	if a.ctx != b.ctx {
+		panic("rdd: LeftOuterJoin across contexts")
+	}
+	if numPartitions <= 0 {
+		numPartitions = a.ctx.parallelism
+	}
+	sa := PartitionBy(a, numPartitions)
+	sb := PartitionBy(b, numPartitions)
+	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
+	out := newRDD(a.ctx, fmt.Sprintf("leftJoin(%s,%s)", a.name, b.name), numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[V, Option[W]]], error) {
+			left, err := sa.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := sb.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			byKey := make(map[K][]W, len(right))
+			for _, kw := range right {
+				byKey[kw.Key] = append(byKey[kw.Key], kw.Value)
+			}
+			var out []Pair[K, Tuple2[V, Option[W]]]
+			for _, kv := range left {
+				ws := byKey[kv.Key]
+				if len(ws) == 0 {
+					out = append(out, Pair[K, Tuple2[V, Option[W]]]{
+						Key:   kv.Key,
+						Value: Tuple2[V, Option[W]]{A: kv.Value, B: None[W]()},
+					})
+					continue
+				}
+				for _, w := range ws {
+					out = append(out, Pair[K, Tuple2[V, Option[W]]]{
+						Key:   kv.Key,
+						Value: Tuple2[V, Option[W]]{A: kv.Value, B: Some(w)},
+					})
+				}
+			}
+			return out, nil
+		}, prepare)
+	out.hashPartitioned = true
+	return out
+}
+
+// SubtractByKey keeps the left records whose keys do not appear on the
+// right.
+func SubtractByKey[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPartitions int) *RDD[Pair[K, V]] {
+	if a.ctx != b.ctx {
+		panic("rdd: SubtractByKey across contexts")
+	}
+	if numPartitions <= 0 {
+		numPartitions = a.ctx.parallelism
+	}
+	sa := PartitionBy(a, numPartitions)
+	sb := PartitionBy(b, numPartitions)
+	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
+	out := newRDD(a.ctx, fmt.Sprintf("subtract(%s,%s)", a.name, b.name), numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]Pair[K, V], error) {
+			left, err := sa.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := sb.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			drop := make(map[K]struct{}, len(right))
+			for _, kw := range right {
+				drop[kw.Key] = struct{}{}
+			}
+			out := make([]Pair[K, V], 0, len(left))
+			for _, kv := range left {
+				if _, gone := drop[kv.Key]; !gone {
+					out = append(out, kv)
+				}
+			}
+			return out, nil
+		}, prepare)
+	out.hashPartitioned = true
+	return out
+}
+
+// Lookup returns every value stored under the key (an action).
+func Lookup[K comparable, V any](r *RDD[Pair[K, V]], key K) ([]V, error) {
+	parts, err := RunJob(r, r.name+".lookup", func(_ *cluster.TaskContext, _ int, data []Pair[K, V]) ([]V, error) {
+		var out []V
+		for _, kv := range data {
+			if kv.Key == key {
+				out = append(out, kv.Value)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []V
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Min returns the smallest element under less, or ErrEmpty.
+func Min[T any](r *RDD[T], less func(a, b T) bool) (T, error) {
+	return Reduce(r, func(a, b T) T {
+		if less(b, a) {
+			return b
+		}
+		return a
+	})
+}
+
+// Max returns the largest element under less, or ErrEmpty.
+func Max[T any](r *RDD[T], less func(a, b T) bool) (T, error) {
+	return Reduce(r, func(a, b T) T {
+		if less(a, b) {
+			return b
+		}
+		return a
+	})
+}
+
+// SumFloat64 sums a numeric RDD; an empty dataset sums to zero.
+func SumFloat64(r *RDD[float64]) (float64, error) {
+	return Aggregate(r, func() float64 { return 0 },
+		func(acc, v float64) float64 { return acc + v },
+		func(a, b float64) float64 { return a + b })
+}

@@ -1,0 +1,115 @@
+package rdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestLeftOuterJoin(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("b", 2), KV("c", 3)}, 2)
+	right := Parallelize(ctx, []Pair[string, string]{KV("a", "x"), KV("a", "y")}, 2)
+	got, err := LeftOuterJoin(left, right, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		k  string
+		v  int
+		w  string
+		ok bool
+	}
+	var rows []row
+	for _, kv := range got {
+		rows = append(rows, row{kv.Key, kv.Value.A, kv.Value.B.Value, kv.Value.B.OK})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].k != rows[j].k {
+			return rows[i].k < rows[j].k
+		}
+		return rows[i].w < rows[j].w
+	})
+	want := []row{
+		{"a", 1, "x", true}, {"a", 1, "y", true},
+		{"b", 2, "", false}, {"c", 3, "", false},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows = %v, want %v", rows, want)
+	}
+}
+
+func TestSubtractByKey(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, kvPairs(50, 10), 4) // keys 0..9
+	right := Parallelize(ctx, []Pair[int, string]{KV(0, "x"), KV(3, "y"), KV(7, "z")}, 2)
+	got, err := SubtractByKey(left, right, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 35 {
+		t.Fatalf("kept %d records, want 35", len(got))
+	}
+	for _, kv := range got {
+		if kv.Key == 0 || kv.Key == 3 || kv.Key == 7 {
+			t.Fatalf("key %d should have been subtracted", kv.Key)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(40, 4), 5)
+	got, err := Lookup(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("found %d values, want 10", len(got))
+	}
+	for _, v := range got {
+		if v%4 != 2 {
+			t.Errorf("value %d under wrong key", v)
+		}
+	}
+	missing, err := Lookup(r, 99)
+	if err != nil || len(missing) != 0 {
+		t.Errorf("missing key: %v, %v", missing, err)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, []float64{3, 1, 4, 1, 5, 9, 2, 6}, 3)
+	less := func(a, b float64) bool { return a < b }
+	mn, err := Min(r, less)
+	if err != nil || mn != 1 {
+		t.Errorf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(r, less)
+	if err != nil || mx != 9 {
+		t.Errorf("Max = %v, %v", mx, err)
+	}
+	sum, err := SumFloat64(r)
+	if err != nil || sum != 31 {
+		t.Errorf("Sum = %v, %v", sum, err)
+	}
+	empty := Parallelize(ctx, []float64(nil), 1)
+	if _, err := Min(empty, less); err != ErrEmpty {
+		t.Errorf("Min on empty = %v", err)
+	}
+	if s, err := SumFloat64(empty); err != nil || s != 0 {
+		t.Errorf("Sum on empty = %v, %v", s, err)
+	}
+}
+
+func TestOptionHelpers(t *testing.T) {
+	s := Some(42)
+	if !s.OK || s.Value != 42 {
+		t.Errorf("Some = %+v", s)
+	}
+	n := None[int]()
+	if n.OK || n.Value != 0 {
+		t.Errorf("None = %+v", n)
+	}
+}

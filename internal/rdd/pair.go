@@ -1,0 +1,351 @@
+package rdd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"adrdedup/internal/cluster"
+)
+
+// Pair is a key-value record, the element type of keyed RDDs.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Tuple2 is a generic 2-tuple, used by joins and Cartesian products.
+type Tuple2[A, B any] struct {
+	A A
+	B B
+}
+
+// KV is a convenience constructor for Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// hashKey hashes a comparable key to a bucket-friendly uint64. Integers use
+// a splitmix64 finalizer; strings use FNV-1a; other comparable types fall
+// back to hashing their formatted representation.
+func hashKey(k any) uint64 {
+	switch v := k.(type) {
+	case int:
+		return splitmix64(uint64(v))
+	case int8:
+		return splitmix64(uint64(v))
+	case int16:
+		return splitmix64(uint64(v))
+	case int32:
+		return splitmix64(uint64(v))
+	case int64:
+		return splitmix64(uint64(v))
+	case uint:
+		return splitmix64(uint64(v))
+	case uint32:
+		return splitmix64(uint64(v))
+	case uint64:
+		return splitmix64(v)
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	case bool:
+		if v {
+			return splitmix64(1)
+		}
+		return splitmix64(0)
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PartitionBy hash-partitions a keyed RDD into numPartitions partitions
+// (0 = default parallelism) through the shuffle service. This is the stage
+// boundary: the parent's partitions are computed by a map stage whose output
+// buckets are committed to the shuffle service; the returned RDD's partitions
+// read (and are charged virtual network time for) those buckets.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, V]] {
+	if numPartitions <= 0 {
+		numPartitions = r.ctx.parallelism
+	}
+	if r.hashPartitioned && r.numPartitions == numPartitions {
+		return r
+	}
+	ctx := r.ctx
+	shID := ctx.cl.Shuffles().Register()
+	bytesPerRecord := r.bytesPerRecord
+
+	var once sync.Once
+	var onceErr error
+	runMapStage := func() error {
+		once.Do(func() {
+			if onceErr = r.ensureDeps(); onceErr != nil {
+				return
+			}
+			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d", r.name, shID),
+				r.numPartitions, func(tc *cluster.TaskContext) error {
+					in, err := r.materialize(tc, tc.Task())
+					if err != nil {
+						return err
+					}
+					tc.AddRecords(int64(len(in)))
+					buckets := make([][]Pair[K, V], numPartitions)
+					for _, kv := range in {
+						b := int(hashKey(kv.Key) % uint64(numPartitions))
+						buckets[b] = append(buckets[b], kv)
+					}
+					for b, bucket := range buckets {
+						if len(bucket) == 0 {
+							continue
+						}
+						tc.WriteShuffle(shID, b, bucket,
+							int64(len(bucket)), int64(len(bucket))*bytesPerRecord)
+					}
+					return nil
+				})
+			if onceErr == nil {
+				ctx.cl.Shuffles().MarkDone(shID)
+			}
+		})
+		return onceErr
+	}
+
+	out := newRDD(ctx, r.name+".partitionBy", numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]Pair[K, V], error) {
+			blocks := tc.FetchShuffle(shID, p)
+			var n int
+			for _, b := range blocks {
+				n += len(b.([]Pair[K, V]))
+			}
+			out := make([]Pair[K, V], 0, n)
+			for _, b := range blocks {
+				out = append(out, b.([]Pair[K, V])...)
+			}
+			tc.SetWorkingSetBytes(int64(n) * bytesPerRecord)
+			return out, nil
+		}, []func() error{runMapStage})
+	out.hashPartitioned = true
+	out.bytesPerRecord = bytesPerRecord
+	return out
+}
+
+// ReduceByKey merges values per key with f, using map-side combining before
+// the shuffle (like Spark's combiner) and a final merge after it.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, numPartitions int) *RDD[Pair[K, V]] {
+	combine := func(in []Pair[K, V]) ([]Pair[K, V], error) {
+		acc := make(map[K]V, len(in))
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			if cur, ok := acc[kv.Key]; ok {
+				acc[kv.Key] = f(cur, kv.Value)
+			} else {
+				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
+			}
+		}
+		out := make([]Pair[K, V], 0, len(acc))
+		for _, k := range order {
+			out = append(out, Pair[K, V]{Key: k, Value: acc[k]})
+		}
+		return out, nil
+	}
+	pre := MapPartitions(r, combine).SetName(r.name + ".combine")
+	pre.bytesPerRecord = r.bytesPerRecord
+	shuffled := PartitionBy(pre, numPartitions)
+	out := MapPartitions(shuffled, combine).SetName(r.name + ".reduceByKey")
+	out.hashPartitioned = true
+	return out
+}
+
+// AggregateByKey folds values per key into an accumulator of a different
+// type: seqOp folds a value into a partition-local accumulator, combOp merges
+// accumulators across partitions.
+func AggregateByKey[K comparable, V, U any](r *RDD[Pair[K, V]], zero func() U,
+	seqOp func(U, V) U, combOp func(U, U) U, numPartitions int) *RDD[Pair[K, U]] {
+	local := MapPartitions(r, func(in []Pair[K, V]) ([]Pair[K, U], error) {
+		acc := make(map[K]U, len(in))
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			cur, ok := acc[kv.Key]
+			if !ok {
+				cur = zero()
+				order = append(order, kv.Key)
+			}
+			acc[kv.Key] = seqOp(cur, kv.Value)
+		}
+		out := make([]Pair[K, U], 0, len(acc))
+		for _, k := range order {
+			out = append(out, Pair[K, U]{Key: k, Value: acc[k]})
+		}
+		return out, nil
+	}).SetName(r.name + ".aggLocal")
+	local.bytesPerRecord = r.bytesPerRecord
+	shuffled := PartitionBy(local, numPartitions)
+	out := MapPartitions(shuffled, func(in []Pair[K, U]) ([]Pair[K, U], error) {
+		acc := make(map[K]U, len(in))
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			if cur, ok := acc[kv.Key]; ok {
+				acc[kv.Key] = combOp(cur, kv.Value)
+			} else {
+				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
+			}
+		}
+		out := make([]Pair[K, U], 0, len(acc))
+		for _, k := range order {
+			out = append(out, Pair[K, U]{Key: k, Value: acc[k]})
+		}
+		return out, nil
+	}).SetName(r.name + ".aggregateByKey")
+	out.hashPartitioned = true
+	return out
+}
+
+// GroupByKey gathers all values of each key into one slice.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
+	shuffled := PartitionBy(r, numPartitions)
+	out := MapPartitions(shuffled, func(in []Pair[K, V]) ([]Pair[K, []V], error) {
+		groups := make(map[K][]V, len(in))
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			if _, ok := groups[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+		out := make([]Pair[K, []V], 0, len(groups))
+		for _, k := range order {
+			out = append(out, Pair[K, []V]{Key: k, Value: groups[k]})
+		}
+		return out, nil
+	}).SetName(r.name + ".groupByKey")
+	out.hashPartitioned = true
+	return out
+}
+
+// Join inner-joins two keyed RDDs on their keys: the result contains one
+// (k, (v, w)) record per matching value combination. Both sides are
+// co-partitioned into numPartitions hash partitions, then joined locally.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPartitions int) *RDD[Pair[K, Tuple2[V, W]]] {
+	if a.ctx != b.ctx {
+		panic("rdd: Join across contexts")
+	}
+	if numPartitions <= 0 {
+		numPartitions = a.ctx.parallelism
+	}
+	sa := PartitionBy(a, numPartitions)
+	sb := PartitionBy(b, numPartitions)
+	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
+	bytesPerRecord := sa.bytesPerRecord + sb.bytesPerRecord
+	out := newRDD(a.ctx, fmt.Sprintf("join(%s,%s)", a.name, b.name), numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[V, W]], error) {
+			left, err := sa.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := sb.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			tc.SetWorkingSetBytes(int64(len(left))*sa.bytesPerRecord +
+				int64(len(right))*sb.bytesPerRecord)
+			byKey := make(map[K][]V, len(left))
+			for _, kv := range left {
+				byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+			}
+			var out []Pair[K, Tuple2[V, W]]
+			for _, kw := range right {
+				for _, v := range byKey[kw.Key] {
+					out = append(out, Pair[K, Tuple2[V, W]]{
+						Key:   kw.Key,
+						Value: Tuple2[V, W]{A: v, B: kw.Value},
+					})
+				}
+			}
+			return out, nil
+		}, prepare)
+	out.hashPartitioned = true
+	out.bytesPerRecord = bytesPerRecord
+	return out
+}
+
+// CoGroup groups both RDDs' values per key: for every key present in either
+// input, the result holds the full value slices from each side.
+func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPartitions int) *RDD[Pair[K, Tuple2[[]V, []W]]] {
+	if a.ctx != b.ctx {
+		panic("rdd: CoGroup across contexts")
+	}
+	if numPartitions <= 0 {
+		numPartitions = a.ctx.parallelism
+	}
+	sa := PartitionBy(a, numPartitions)
+	sb := PartitionBy(b, numPartitions)
+	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
+	out := newRDD(a.ctx, fmt.Sprintf("cogroup(%s,%s)", a.name, b.name), numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[[]V, []W]], error) {
+			left, err := sa.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := sb.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			vs := make(map[K][]V)
+			ws := make(map[K][]W)
+			var order []K
+			seen := make(map[K]bool)
+			for _, kv := range left {
+				if !seen[kv.Key] {
+					seen[kv.Key] = true
+					order = append(order, kv.Key)
+				}
+				vs[kv.Key] = append(vs[kv.Key], kv.Value)
+			}
+			for _, kw := range right {
+				if !seen[kw.Key] {
+					seen[kw.Key] = true
+					order = append(order, kw.Key)
+				}
+				ws[kw.Key] = append(ws[kw.Key], kw.Value)
+			}
+			out := make([]Pair[K, Tuple2[[]V, []W]], 0, len(order))
+			for _, k := range order {
+				out = append(out, Pair[K, Tuple2[[]V, []W]]{
+					Key:   k,
+					Value: Tuple2[[]V, []W]{A: vs[k], B: ws[k]},
+				})
+			}
+			return out, nil
+		}, prepare)
+	out.hashPartitioned = true
+	return out
+}
+
+// MapValues transforms only the value of each pair, preserving partitioning.
+func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], f func(V) W) *RDD[Pair[K, W]] {
+	out := Map(r, func(kv Pair[K, V]) Pair[K, W] {
+		return Pair[K, W]{Key: kv.Key, Value: f(kv.Value)}
+	})
+	out.hashPartitioned = r.hashPartitioned
+	return out
+}
+
+// Keys projects a keyed RDD to its keys.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(kv Pair[K, V]) K { return kv.Key })
+}
+
+// Values projects a keyed RDD to its values.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(kv Pair[K, V]) V { return kv.Value })
+}

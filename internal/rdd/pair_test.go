@@ -1,0 +1,330 @@
+package rdd
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"adrdedup/internal/cluster"
+)
+
+// sortedSink is a concurrency-safe int accumulator for Foreach tests.
+type sortedSink struct {
+	mu sync.Mutex
+	vs []int
+}
+
+func (s *sortedSink) add(v int) {
+	s.mu.Lock()
+	s.vs = append(s.vs, v)
+	s.mu.Unlock()
+}
+
+func (s *sortedSink) sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := 0
+	for _, v := range s.vs {
+		t += v
+	}
+	return t
+}
+
+func kvPairs(n, keys int) []Pair[int, int] {
+	out := make([]Pair[int, int], n)
+	for i := range out {
+		out[i] = KV(i%keys, i)
+	}
+	return out
+}
+
+func TestPartitionByGroupsKeys(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(100, 10), 5)
+	s := PartitionBy(r, 4)
+	if s.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", s.NumPartitions())
+	}
+	// Every key must land wholly inside one partition.
+	parts, err := RunJob(s, "inspect", func(_ *cluster.TaskContext, p int, data []Pair[int, int]) (map[int]bool, error) {
+		keys := make(map[int]bool)
+		for _, kv := range data {
+			keys[kv.Key] = true
+		}
+		return keys, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := make(map[int]int)
+	for p, keys := range parts {
+		for k := range keys {
+			if prev, ok := owner[k]; ok && prev != p {
+				t.Errorf("key %d appears in partitions %d and %d", k, prev, p)
+			}
+			owner[k] = p
+		}
+	}
+	// No records lost.
+	n, err := s.Count()
+	if err != nil || n != 100 {
+		t.Errorf("count after shuffle = %d, %v", n, err)
+	}
+}
+
+func TestPartitionByIdempotentWhenCoPartitioned(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(50, 5), 3)
+	s := PartitionBy(r, 4)
+	if PartitionBy(s, 4) != s {
+		t.Error("re-partitioning a co-partitioned RDD should be a no-op")
+	}
+	if PartitionBy(s, 5) == s {
+		t.Error("different partition count must produce a new RDD")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(100, 10), 5)
+	got, err := ReduceByKey(r, func(a, b int) int { return a + b }, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d keys, want 10", len(got))
+	}
+	// Key k holds values k, k+10, ..., k+90: sum = 10k + 450.
+	for _, kv := range got {
+		want := 10*kv.Key + 450
+		if kv.Value != want {
+			t.Errorf("key %d sum = %d, want %d", kv.Key, kv.Value, want)
+		}
+	}
+}
+
+func TestReduceByKeyEqualsGroupThenFold(t *testing.T) {
+	// Algebraic law: reduceByKey(f) == groupByKey().mapValues(fold f).
+	ctx := testCtx()
+	rng := rand.New(rand.NewSource(11))
+	data := make([]Pair[int, int], 500)
+	for i := range data {
+		data[i] = KV(rng.Intn(20), rng.Intn(1000))
+	}
+	r := Parallelize(ctx, data, 7)
+	f := func(a, b int) int { return a + b }
+
+	reduced, err := ReduceByKey(r, f, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := GroupByKey(r, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]int)
+	for _, kv := range grouped {
+		acc := 0
+		for _, v := range kv.Value {
+			acc += v
+		}
+		want[kv.Key] = acc
+	}
+	if len(reduced) != len(want) {
+		t.Fatalf("key counts differ: %d vs %d", len(reduced), len(want))
+	}
+	for _, kv := range reduced {
+		if want[kv.Key] != kv.Value {
+			t.Errorf("key %d: reduceByKey %d != group-fold %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(100, 4), 5)
+	// Count per key via aggregate.
+	got, err := AggregateByKey(r,
+		func() int { return 0 },
+		func(acc, _ int) int { return acc + 1 },
+		func(a, b int) int { return a + b }, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range got {
+		if kv.Value != 25 {
+			t.Errorf("key %d count = %d, want 25", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(30, 3), 4)
+	got, err := GroupByKey(r, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("groups = %d, want 3", len(got))
+	}
+	for _, kv := range got {
+		if len(kv.Value) != 10 {
+			t.Errorf("key %d has %d values, want 10", kv.Key, len(kv.Value))
+		}
+		for _, v := range kv.Value {
+			if v%3 != kv.Key {
+				t.Errorf("value %d grouped under wrong key %d", v, kv.Key)
+			}
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, []Pair[string, int]{
+		KV("a", 1), KV("b", 2), KV("a", 3), KV("c", 4),
+	}, 2)
+	right := Parallelize(ctx, []Pair[string, string]{
+		KV("a", "x"), KV("b", "y"), KV("d", "z"),
+	}, 2)
+	got, err := Join(left, right, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		k string
+		v int
+		w string
+	}
+	var rows []row
+	for _, kv := range got {
+		rows = append(rows, row{kv.Key, kv.Value.A, kv.Value.B})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].k != rows[j].k {
+			return rows[i].k < rows[j].k
+		}
+		return rows[i].v < rows[j].v
+	})
+	want := []row{{"a", 1, "x"}, {"a", 3, "x"}, {"b", 2, "y"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("join rows = %v, want %v", rows, want)
+	}
+}
+
+func TestJoinSizeMatchesNestedLoop(t *testing.T) {
+	ctx := testCtx()
+	rng := rand.New(rand.NewSource(5))
+	var left []Pair[int, int]
+	var right []Pair[int, int]
+	for i := 0; i < 200; i++ {
+		left = append(left, KV(rng.Intn(10), i))
+	}
+	for i := 0; i < 100; i++ {
+		right = append(right, KV(rng.Intn(10), i))
+	}
+	countL := make(map[int]int)
+	countR := make(map[int]int)
+	for _, kv := range left {
+		countL[kv.Key]++
+	}
+	for _, kv := range right {
+		countR[kv.Key]++
+	}
+	var want int64
+	for k, c := range countL {
+		want += int64(c * countR[k])
+	}
+	j := Join(Parallelize(ctx, left, 4), Parallelize(ctx, right, 3), 5)
+	n, err := j.Count()
+	if err != nil || n != want {
+		t.Errorf("join count = %d, want %d (%v)", n, want, err)
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("a", 2), KV("b", 3)}, 2)
+	right := Parallelize(ctx, []Pair[string, string]{KV("a", "x"), KV("c", "y")}, 1)
+	got, err := CoGroup(left, right, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]Tuple2[[]int, []string])
+	for _, kv := range got {
+		byKey[kv.Key] = kv.Value
+	}
+	if len(byKey) != 3 {
+		t.Fatalf("cogroup keys = %d, want 3", len(byKey))
+	}
+	a := byKey["a"]
+	sort.Ints(a.A)
+	if !reflect.DeepEqual(a.A, []int{1, 2}) || !reflect.DeepEqual(a.B, []string{"x"}) {
+		t.Errorf("cogroup[a] = %v", a)
+	}
+	if c := byKey["c"]; len(c.A) != 0 || !reflect.DeepEqual(c.B, []string{"y"}) {
+		t.Errorf("cogroup[c] = %v", c)
+	}
+}
+
+func TestMapValuesKeysValues(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("b", 2)}, 1)
+	mv, err := MapValues(r, func(v int) int { return v * 10 }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv[0].Value != 10 || mv[1].Value != 20 {
+		t.Errorf("MapValues = %v", mv)
+	}
+	ks, err := Keys(r).Collect()
+	if err != nil || !reflect.DeepEqual(ks, []string{"a", "b"}) {
+		t.Errorf("Keys = %v, %v", ks, err)
+	}
+	vs, err := Values(r).Collect()
+	if err != nil || !reflect.DeepEqual(vs, []int{1, 2}) {
+		t.Errorf("Values = %v, %v", vs, err)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, kvPairs(60, 6), 4)
+	got, err := CountByKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range got {
+		if c != 10 {
+			t.Errorf("key %d count = %d, want 10", k, c)
+		}
+	}
+}
+
+func TestHashKeyDistribution(t *testing.T) {
+	// Sequential int keys must spread across buckets, not collide into few.
+	buckets := make(map[uint64]int)
+	const n, b = 10000, 16
+	for i := 0; i < n; i++ {
+		buckets[hashKey(i)%b]++
+	}
+	for bucket, c := range buckets {
+		if c < n/b/2 || c > n/b*2 {
+			t.Errorf("bucket %d has %d of %d keys: poor distribution", bucket, c, n)
+		}
+	}
+	// Strings and default types hash without panicking and are stable.
+	if hashKey("abc") != hashKey("abc") {
+		t.Error("string hash unstable")
+	}
+	type custom struct{ X int }
+	if hashKey(custom{1}) != hashKey(custom{1}) {
+		t.Error("fallback hash unstable")
+	}
+	if hashKey(true) == hashKey(false) {
+		t.Error("bool hash collision")
+	}
+}

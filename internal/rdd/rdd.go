@@ -1,0 +1,240 @@
+// Package rdd implements a Spark-like resilient distributed dataset layer on
+// top of the simulated cluster (internal/cluster). An RDD is an immutable,
+// lazily evaluated, partitioned collection defined by a per-partition compute
+// closure plus its lineage. Transformations (Map, Filter, Join, ReduceByKey,
+// ...) build new RDDs without running anything; actions (Collect, Count,
+// Reduce, ...) submit jobs. Jobs split into stages at shuffle boundaries,
+// exactly as in Spark: a keyed transformation first runs a map stage that
+// hash-partitions its input into the shuffle service, then downstream stages
+// read the shuffled blocks.
+//
+// Because Go methods cannot introduce new type parameters, transformations
+// that change the element type are package-level functions: rdd.Map(r, f)
+// rather than r.Map(f).
+//
+// RDDs may be cached (Cache) in the cluster's block store. Cached partitions
+// that are evicted under memory pressure are transparently recomputed from
+// lineage on the next access — the fault-tolerance property the paper relies
+// on Spark for.
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adrdedup/internal/cluster"
+)
+
+// Context owns RDD identity and default parallelism for one logical Spark
+// application. It is safe for use from a single driver goroutine (like a
+// SparkContext, jobs are submitted sequentially).
+type Context struct {
+	cl          *cluster.Cluster
+	nextID      atomic.Int64
+	parallelism int
+}
+
+// NewContext creates a driver context bound to a cluster. The default
+// parallelism is the cluster's virtual slot count.
+func NewContext(cl *cluster.Cluster) *Context {
+	return &Context{cl: cl, parallelism: cl.SlotCount()}
+}
+
+// Cluster returns the underlying simulated cluster.
+func (c *Context) Cluster() *cluster.Cluster { return c.cl }
+
+// DefaultParallelism returns the partition count used when callers pass 0.
+func (c *Context) DefaultParallelism() int { return c.parallelism }
+
+// RDD is an immutable partitioned dataset of T.
+type RDD[T any] struct {
+	ctx  *Context
+	id   int
+	name string
+
+	numPartitions int
+	compute       func(tc *cluster.TaskContext, partition int) ([]T, error)
+
+	// prepare holds idempotent closures that must run (driver-side)
+	// before any job over this RDD: one per upstream shuffle map stage.
+	prepare []func() error
+
+	// bytesPerRecord is the size estimate used for cache and shuffle
+	// accounting.
+	bytesPerRecord int64
+
+	mu         sync.Mutex
+	cached     bool
+	everCached map[int]bool // partitions that were stored at least once
+
+	// hashPartitioned marks the output of PartitionBy, letting keyed
+	// operations skip a redundant shuffle when co-partitioned.
+	hashPartitioned bool
+}
+
+const defaultBytesPerRecord = 64
+
+func newRDD[T any](ctx *Context, name string, partitions int,
+	compute func(tc *cluster.TaskContext, partition int) ([]T, error),
+	prepare []func() error) *RDD[T] {
+	if partitions < 1 {
+		partitions = 1
+	}
+	return &RDD[T]{
+		ctx:            ctx,
+		id:             int(ctx.nextID.Add(1)),
+		name:           name,
+		numPartitions:  partitions,
+		compute:        compute,
+		prepare:        prepare,
+		bytesPerRecord: defaultBytesPerRecord,
+		everCached:     make(map[int]bool),
+	}
+}
+
+// Parallelize distributes data across numPartitions partitions (0 = default
+// parallelism). The slice is referenced, not copied; callers must not mutate
+// it afterwards.
+func Parallelize[T any](ctx *Context, data []T, numPartitions int) *RDD[T] {
+	if numPartitions <= 0 {
+		numPartitions = ctx.parallelism
+	}
+	if numPartitions > len(data) && len(data) > 0 {
+		numPartitions = len(data)
+	}
+	if len(data) == 0 {
+		numPartitions = 1
+	}
+	n := len(data)
+	p := numPartitions
+	return newRDD(ctx, "parallelize", p, func(tc *cluster.TaskContext, part int) ([]T, error) {
+		lo := part * n / p
+		hi := (part + 1) * n / p
+		return data[lo:hi], nil
+	}, nil)
+}
+
+// Name returns the RDD's debug name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// ID returns the RDD's unique id within its context.
+func (r *RDD[T]) ID() int { return r.id }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
+
+// SetName sets the debug name and returns the RDD for chaining.
+func (r *RDD[T]) SetName(name string) *RDD[T] {
+	r.name = name
+	return r
+}
+
+// WithBytesPerRecord overrides the per-record size estimate used for cache
+// and shuffle byte accounting, returning the RDD for chaining.
+func (r *RDD[T]) WithBytesPerRecord(n int64) *RDD[T] {
+	if n > 0 {
+		r.bytesPerRecord = n
+	}
+	return r
+}
+
+// Cache marks the RDD's partitions for storage in the cluster block store on
+// first materialization.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.mu.Lock()
+	r.cached = true
+	r.mu.Unlock()
+	return r
+}
+
+// Unpersist removes the RDD's partitions from the block store and stops
+// future caching.
+func (r *RDD[T]) Unpersist() {
+	r.mu.Lock()
+	r.cached = false
+	r.everCached = make(map[int]bool)
+	r.mu.Unlock()
+	for p := 0; p < r.numPartitions; p++ {
+		r.ctx.cl.Blocks().Remove(cluster.BlockID{RDD: r.id, Partition: p})
+	}
+}
+
+// IsCached reports whether caching is enabled for this RDD.
+func (r *RDD[T]) IsCached() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cached
+}
+
+// ensureDeps runs every upstream shuffle map stage that has not run yet.
+// It is called driver-side before submitting a job.
+func (r *RDD[T]) ensureDeps() error {
+	for _, p := range r.prepare {
+		if err := p(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materialize returns the partition's data, serving it from cache when
+// possible and recomputing from lineage otherwise.
+func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error) {
+	r.mu.Lock()
+	cached := r.cached
+	r.mu.Unlock()
+	if !cached {
+		return r.compute(tc, partition)
+	}
+
+	id := cluster.BlockID{RDD: r.id, Partition: partition}
+	if v, ok := r.ctx.cl.Blocks().Get(id); ok {
+		return v.([]T), nil
+	}
+	r.mu.Lock()
+	wasCached := r.everCached[partition]
+	r.mu.Unlock()
+	if wasCached {
+		// The block was stored before and has been evicted: this is a
+		// lineage recomputation.
+		r.ctx.cl.Metrics().BlockRecomputes.Add(1)
+	}
+	data, err := r.compute(tc, partition)
+	if err != nil {
+		return nil, err
+	}
+	if r.ctx.cl.Blocks().Put(id, data, int64(len(data))*r.bytesPerRecord) {
+		r.mu.Lock()
+		r.everCached[partition] = true
+		r.mu.Unlock()
+	}
+	return data, nil
+}
+
+// RunJob materializes every partition of r and applies fn to each, returning
+// the per-partition results in partition order. It is the primitive all
+// actions are built on.
+func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, partition int, data []T) (R, error)) ([]R, error) {
+	if err := r.ensureDeps(); err != nil {
+		return nil, fmt.Errorf("rdd %q: preparing dependencies: %w", r.name, err)
+	}
+	results := make([]R, r.numPartitions)
+	_, err := r.ctx.cl.RunStage(name, r.numPartitions, func(tc *cluster.TaskContext) error {
+		data, err := r.materialize(tc, tc.Task())
+		if err != nil {
+			return err
+		}
+		tc.AddRecords(int64(len(data)))
+		res, err := fn(tc, tc.Task(), data)
+		if err != nil {
+			return err
+		}
+		results[tc.Task()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdd %q: %w", r.name, err)
+	}
+	return results, nil
+}

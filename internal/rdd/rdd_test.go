@@ -1,0 +1,282 @@
+package rdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"adrdedup/internal/cluster"
+)
+
+func testCtx() *Context {
+	return NewContext(cluster.New(cluster.Config{Executors: 4, CoresPerExecutor: 2}))
+}
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	ctx := testCtx()
+	data := ints(100)
+	r := Parallelize(ctx, data, 7)
+	if r.NumPartitions() != 7 {
+		t.Fatalf("partitions = %d, want 7", r.NumPartitions())
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Errorf("Collect changed data or order")
+	}
+}
+
+func TestParallelizeEmptyAndSmall(t *testing.T) {
+	ctx := testCtx()
+	empty := Parallelize(ctx, []int(nil), 4)
+	n, err := empty.Count()
+	if err != nil || n != 0 {
+		t.Errorf("empty Count = %d, %v", n, err)
+	}
+	small := Parallelize(ctx, []int{1, 2}, 10)
+	if small.NumPartitions() > 2 {
+		t.Errorf("partitions %d should be capped at data length", small.NumPartitions())
+	}
+	got, err := small.Collect()
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("small Collect = %v, %v", got, err)
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(20), 3)
+	doubled, err := Map(r, func(x int) int { return 2 * x }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range doubled {
+		if v != 2*i {
+			t.Fatalf("Map wrong at %d: %d", i, v)
+		}
+	}
+	evens, err := Filter(r, func(x int) bool { return x%2 == 0 }).Count()
+	if err != nil || evens != 10 {
+		t.Errorf("Filter count = %d, %v", evens, err)
+	}
+	pairsN, err := FlatMap(r, func(x int) []int { return []int{x, x} }).Count()
+	if err != nil || pairsN != 40 {
+		t.Errorf("FlatMap count = %d, %v", pairsN, err)
+	}
+}
+
+func TestMapFusionProperty(t *testing.T) {
+	// map(f) then map(g) must equal map(g∘f) — the lazy-evaluation law.
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(50), 4)
+	f := func(x int) int { return x + 3 }
+	g := func(x int) int { return x * 2 }
+	a, err := Map(Map(r, f), g).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(r, func(x int) int { return g(f(x)) }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("map fusion law violated")
+	}
+}
+
+func TestMapPartitionsWithIndex(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(10), 3)
+	got, err := MapPartitionsWithIndex(r, func(p int, in []int) ([]int, error) {
+		out := make([]int, len(in))
+		for i := range in {
+			out[i] = p
+		}
+		return out, nil
+	}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("partition indices not in partition order: %v", got)
+	}
+}
+
+func TestUnionCountAdditive(t *testing.T) {
+	ctx := testCtx()
+	a := Parallelize(ctx, ints(30), 3)
+	b := Parallelize(ctx, ints(20), 2)
+	u := Union(a, b)
+	if u.NumPartitions() != 5 {
+		t.Errorf("union partitions = %d, want 5", u.NumPartitions())
+	}
+	n, err := u.Count()
+	if err != nil || n != 50 {
+		t.Errorf("union count = %d, %v", n, err)
+	}
+	got, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]int{}, ints(30)...), ints(20)...)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("union order should be a-then-b")
+	}
+}
+
+func TestCartesian(t *testing.T) {
+	ctx := testCtx()
+	a := Parallelize(ctx, []int{1, 2, 3}, 2)
+	b := Parallelize(ctx, []string{"x", "y"}, 2)
+	got, err := Cartesian(a, b).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("cartesian size = %d, want 6", len(got))
+	}
+	seen := make(map[Tuple2[int, string]]bool)
+	for _, p := range got {
+		seen[p] = true
+	}
+	for _, x := range []int{1, 2, 3} {
+		for _, y := range []string{"x", "y"} {
+			if !seen[Tuple2[int, string]{x, y}] {
+				t.Errorf("missing pair (%d,%s)", x, y)
+			}
+		}
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(10000), 8)
+	s1, err := Sample(r, 0.3, 99).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sample(r, 0.3, 99).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("same seed produced different samples")
+	}
+	if len(s1) < 2500 || len(s1) > 3500 {
+		t.Errorf("sample size %d far from 3000", len(s1))
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(100), 10)
+	c := Coalesce(r, 3)
+	if c.NumPartitions() != 3 {
+		t.Fatalf("coalesced partitions = %d", c.NumPartitions())
+	}
+	got, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ints(100)) {
+		t.Error("coalesce must preserve order")
+	}
+	if Coalesce(r, 20) != r {
+		t.Error("coalesce to more partitions should be a no-op")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testCtx()
+	data := []int{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+	r := Parallelize(ctx, data, 4)
+	got, err := Distinct(r, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestReduceAndAggregate(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(101), 7)
+	sum, err := Reduce(r, func(a, b int) int { return a + b })
+	if err != nil || sum != 5050 {
+		t.Errorf("Reduce sum = %d, %v", sum, err)
+	}
+	_, err = Reduce(Parallelize(ctx, []int(nil), 1), func(a, b int) int { return a + b })
+	if err != ErrEmpty {
+		t.Errorf("Reduce on empty = %v, want ErrEmpty", err)
+	}
+	cnt, err := Aggregate(r, func() int { return 0 },
+		func(acc, _ int) int { return acc + 1 },
+		func(a, b int) int { return a + b })
+	if err != nil || cnt != 101 {
+		t.Errorf("Aggregate count = %d, %v", cnt, err)
+	}
+}
+
+func TestTakeFirst(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(10), 3)
+	got, err := r.Take(4)
+	if err != nil || !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Take = %v, %v", got, err)
+	}
+	got, err = r.Take(100)
+	if err != nil || len(got) != 10 {
+		t.Errorf("oversized Take = %v, %v", got, err)
+	}
+	first, err := r.First()
+	if err != nil || first != 0 {
+		t.Errorf("First = %d, %v", first, err)
+	}
+	_, err = Parallelize(ctx, []int(nil), 1).First()
+	if err != ErrEmpty {
+		t.Errorf("First on empty = %v", err)
+	}
+}
+
+func TestTopKAndBoundedMin(t *testing.T) {
+	ctx := testCtx()
+	data := []int{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	r := Parallelize(ctx, data, 4)
+	got, err := TopK(r, 3, func(a, b int) bool { return a < b })
+	if err != nil || !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("TopK = %v, %v", got, err)
+	}
+	if got := BoundedMin(data, 0, func(a, b int) bool { return a < b }); got != nil {
+		t.Errorf("BoundedMin n=0 = %v", got)
+	}
+	if got := BoundedMin([]int{5}, 3, func(a, b int) bool { return a < b }); !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("BoundedMin short input = %v", got)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(50), 5)
+	var mu sortedSink
+	if err := r.Foreach(mu.add); err != nil {
+		t.Fatal(err)
+	}
+	if mu.sum() != 1225 {
+		t.Errorf("foreach sum = %d, want 1225", mu.sum())
+	}
+}

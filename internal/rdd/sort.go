@@ -1,0 +1,106 @@
+package rdd
+
+import (
+	"sort"
+	"sync"
+
+	"adrdedup/internal/cluster"
+)
+
+// SortBy totally sorts the dataset under less, like Spark's sortBy: the
+// input is sampled to pick numPartitions-1 range boundaries, records are
+// shuffled into contiguous ranges, and each partition is sorted locally.
+// Collecting the result yields a globally sorted sequence.
+func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T] {
+	if numPartitions <= 0 {
+		numPartitions = r.ctx.parallelism
+	}
+
+	// Sampling the boundaries is an eager driver-side job, as in Spark
+	// (sortBy triggers a sample stage when declared).
+	sample, err := Sample(r, 0.1, 17).Collect()
+	if err != nil || len(sample) == 0 {
+		// Fall back to whole-input bounds only if sampling failed;
+		// an empty sample means a tiny input, where one partition is
+		// fine.
+		numPartitions = 1
+	}
+	sort.Slice(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
+	bounds := make([]T, 0, numPartitions-1)
+	for i := 1; i < numPartitions; i++ {
+		idx := i * len(sample) / numPartitions
+		if idx < len(sample) {
+			bounds = append(bounds, sample[idx])
+		}
+	}
+	rangeOf := func(v T) int {
+		// First range whose bound exceeds v; linear scan is fine for
+		// tens of partitions.
+		for i, b := range bounds {
+			if less(v, b) {
+				return i
+			}
+		}
+		return len(bounds)
+	}
+
+	keyed := Map(r, func(v T) Pair[int, T] { return KV(rangeOf(v), v) }).SetName(r.name + ".rangeKeys")
+	// PartitionBy hashes keys; for range partitioning the partition must
+	// equal the key itself, so shuffle manually through the service.
+	ctx := r.ctx
+	shID := ctx.cl.Shuffles().Register()
+	parts := len(bounds) + 1
+	prepareParent := keyed.prepare
+	runMapStage := onceErrFunc(func() error {
+		for _, p := range prepareParent {
+			if err := p(); err != nil {
+				return err
+			}
+		}
+		_, err := ctx.cl.RunStage(r.name+".sortShuffle", keyed.numPartitions,
+			func(tc *cluster.TaskContext) error {
+				in, err := keyed.materialize(tc, tc.Task())
+				if err != nil {
+					return err
+				}
+				buckets := make([][]T, parts)
+				for _, kv := range in {
+					buckets[kv.Key] = append(buckets[kv.Key], kv.Value)
+				}
+				for b, bucket := range buckets {
+					if len(bucket) == 0 {
+						continue
+					}
+					tc.WriteShuffle(shID, b, bucket,
+						int64(len(bucket)), int64(len(bucket))*r.bytesPerRecord)
+				}
+				return nil
+			})
+		if err == nil {
+			ctx.cl.Shuffles().MarkDone(shID)
+		}
+		return err
+	})
+
+	return newRDD(ctx, r.name+".sortBy", parts,
+		func(tc *cluster.TaskContext, p int) ([]T, error) {
+			blocks := tc.FetchShuffle(shID, p)
+			var out []T
+			for _, b := range blocks {
+				out = append(out, b.([]T)...)
+			}
+			sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+			return out, nil
+		}, []func() error{runMapStage})
+}
+
+// onceErrFunc wraps f so it runs at most once (goroutine-safe) and replays
+// its error to later callers.
+func onceErrFunc(f func() error) func() error {
+	var once sync.Once
+	var err error
+	return func() error {
+		once.Do(func() { err = f() })
+		return err
+	}
+}

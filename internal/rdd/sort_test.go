@@ -1,0 +1,136 @@
+package rdd
+
+import (
+	"adrdedup/internal/cluster"
+
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func clusterNew(failureRate float64) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Executors: 4, FailureRate: failureRate, MaxTaskRetries: 40, Seed: 31,
+	})
+}
+
+func TestSortBySmall(t *testing.T) {
+	ctx := testCtx()
+	data := []int{9, 3, 7, 1, 8, 2, 6, 4, 5, 0}
+	got, err := SortBy(Parallelize(ctx, data, 3), func(a, b int) bool { return a < b }, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("not sorted: %v", got)
+	}
+}
+
+func TestSortByLargeRandom(t *testing.T) {
+	ctx := testCtx()
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	sorted := SortBy(Parallelize(ctx, data, 8), func(a, b float64) bool { return a < b }, 6)
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len = %d, want %d", len(got), len(data))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("not globally sorted")
+	}
+	// Range partitioning should spread records across partitions, not
+	// funnel everything into one.
+	counts, err := RunJob(sorted, "counts", func(_ *cluster.TaskContext, _ int, in []float64) (int, error) {
+		return len(in), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max > len(data)*2/3 {
+		t.Errorf("one partition holds %d of %d records; range partitioning degenerate", max, len(data))
+	}
+}
+
+func TestSortByDescending(t *testing.T) {
+	ctx := testCtx()
+	data := []string{"pear", "apple", "fig", "date", "cherry"}
+	got, err := SortBy(Parallelize(ctx, data, 2), func(a, b string) bool { return a > b }, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Errorf("not descending: %v", got)
+		}
+	}
+}
+
+func TestSortByEmptyAndSingle(t *testing.T) {
+	ctx := testCtx()
+	empty, err := SortBy(Parallelize(ctx, []int(nil), 1), func(a, b int) bool { return a < b }, 3).Collect()
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty sort: %v, %v", empty, err)
+	}
+	one, err := SortBy(Parallelize(ctx, []int{42}, 1), func(a, b int) bool { return a < b }, 3).Collect()
+	if err != nil || len(one) != 1 || one[0] != 42 {
+		t.Errorf("single sort: %v, %v", one, err)
+	}
+}
+
+func TestSortByUnderFaultInjection(t *testing.T) {
+	run := func(rate float64) []int {
+		ctx := NewContext(clusterNew(rate))
+		data := make([]int, 3000)
+		for i := range data {
+			data[i] = (i * 7919) % 3001
+		}
+		got, err := SortBy(Parallelize(ctx, data, 6), func(a, b int) bool { return a < b }, 5).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	clean := run(0)
+	faulty := run(0.25)
+	if len(clean) != len(faulty) {
+		t.Fatalf("lengths differ: %d vs %d", len(clean), len(faulty))
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("fault injection changed sorted output at %d", i)
+		}
+	}
+	if !sort.IntsAreSorted(clean) {
+		t.Error("not sorted")
+	}
+}
+
+func TestSortByDuplicateValues(t *testing.T) {
+	ctx := testCtx()
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = i % 5
+	}
+	got, err := SortBy(Parallelize(ctx, data, 4), func(a, b int) bool { return a < b }, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 || !sort.IntsAreSorted(got) {
+		t.Errorf("duplicate-heavy sort failed: len=%d", len(got))
+	}
+}

@@ -1,0 +1,184 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adrdedup/internal/cluster"
+)
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".map", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]U, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out, nil
+		}, r.prepare)
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return newRDD(r.ctx, r.name+".filter", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]T, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]T, 0, len(in))
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		}, r.prepare)
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.name+".flatMap", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]U, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out, nil
+		}, r.prepare)
+}
+
+// MapPartitions applies f to each whole partition.
+func MapPartitions[T, U any](r *RDD[T], f func(in []T) ([]U, error)) *RDD[U] {
+	return MapPartitionsWithIndex(r, func(_ int, in []T) ([]U, error) { return f(in) })
+}
+
+// MapPartitionsWithIndex applies f to each whole partition along with the
+// partition index.
+func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.name+".mapPartitions", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]U, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			return f(p, in)
+		}, r.prepare)
+}
+
+// Union concatenates two RDDs; the result has the sum of their partitions.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	prepare := append(append([]func() error{}, a.prepare...), b.prepare...)
+	return newRDD(a.ctx, fmt.Sprintf("union(%s,%s)", a.name, b.name),
+		a.numPartitions+b.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]T, error) {
+			if p < a.numPartitions {
+				return a.materialize(tc, p)
+			}
+			return b.materialize(tc, p-a.numPartitions)
+		}, prepare)
+}
+
+// Cartesian pairs every element of a with every element of b. The result has
+// a.NumPartitions x b.NumPartitions partitions.
+func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
+	if a.ctx != b.ctx {
+		panic("rdd: Cartesian across contexts")
+	}
+	prepare := append(append([]func() error{}, a.prepare...), b.prepare...)
+	nb := b.numPartitions
+	return newRDD(a.ctx, fmt.Sprintf("cartesian(%s,%s)", a.name, b.name),
+		a.numPartitions*nb,
+		func(tc *cluster.TaskContext, p int) ([]Tuple2[T, U], error) {
+			pa, pb := p/nb, p%nb
+			left, err := a.materialize(tc, pa)
+			if err != nil {
+				return nil, err
+			}
+			right, err := b.materialize(tc, pb)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]Tuple2[T, U], 0, len(left)*len(right))
+			for _, x := range left {
+				for _, y := range right {
+					out = append(out, Tuple2[T, U]{x, y})
+				}
+			}
+			return out, nil
+		}, prepare)
+}
+
+// Sample returns a Bernoulli sample of r with the given fraction,
+// deterministic for a given seed.
+func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
+	return newRDD(r.ctx, r.name+".sample", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]T, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed + int64(p)*7919))
+			out := make([]T, 0, int(float64(len(in))*fraction)+1)
+			for _, v := range in {
+				if rng.Float64() < fraction {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		}, r.prepare)
+}
+
+// Coalesce reduces the partition count without a shuffle by concatenating
+// ranges of parent partitions.
+func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
+	if numPartitions >= r.numPartitions || numPartitions < 1 {
+		return r
+	}
+	n := r.numPartitions
+	p := numPartitions
+	return newRDD(r.ctx, r.name+".coalesce", p,
+		func(tc *cluster.TaskContext, part int) ([]T, error) {
+			lo := part * n / p
+			hi := (part + 1) * n / p
+			var out []T
+			for i := lo; i < hi; i++ {
+				in, err := r.materialize(tc, i)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, in...)
+			}
+			return out, nil
+		}, r.prepare)
+}
+
+// Distinct removes duplicate elements via a shuffle (one partition per hash
+// bucket), preserving no particular order.
+func Distinct[T comparable](r *RDD[T], numPartitions int) *RDD[T] {
+	pairs := Map(r, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	shuffled := PartitionBy(pairs, numPartitions)
+	return MapPartitions(shuffled, func(in []Pair[T, struct{}]) ([]T, error) {
+		seen := make(map[T]struct{}, len(in))
+		out := make([]T, 0, len(in))
+		for _, kv := range in {
+			if _, ok := seen[kv.Key]; !ok {
+				seen[kv.Key] = struct{}{}
+				out = append(out, kv.Key)
+			}
+		}
+		return out, nil
+	})
+}

@@ -1,0 +1,261 @@
+package strsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"atorvastatin", "atorvastatine", 1},
+		{"rhabdomyolysis", "rhabdomyolysi", 1},
+		{"gumbo", "gambol", 2},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"résumé", "resume", 2},
+		{"influenza vaccine", "influenza vaccine,dtpa vaccine", 13},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinIdentity(t *testing.T) {
+	f := func(a string) bool {
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBoundedByLongerLength(t *testing.T) {
+	f := func(a, b string) bool {
+		la := len([]rune(a))
+		lb := len([]rune(b))
+		n := la
+		if lb > n {
+			n = lb
+		}
+		d := Levenshtein(a, b)
+		return d >= 0 && d <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Errorf("LevenshteinSim of empty strings = %v, want 1", got)
+	}
+	if got := LevenshteinSim("abc", "abc"); got != 1 {
+		t.Errorf("identical strings similarity = %v, want 1", got)
+	}
+	if got := LevenshteinSim("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint strings similarity = %v, want 0", got)
+	}
+	got := LevenshteinSim("kitten", "sitting")
+	want := 1 - 3.0/7.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("LevenshteinSim(kitten, sitting) = %v, want %v", got, want)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if d, ok := Hamming("karolin", "kathrin"); !ok || d != 3 {
+		t.Errorf("Hamming(karolin, kathrin) = %d,%v want 3,true", d, ok)
+	}
+	if d, ok := Hamming("", ""); !ok || d != 0 {
+		t.Errorf("Hamming of empty strings = %d,%v want 0,true", d, ok)
+	}
+	if _, ok := Hamming("ab", "abc"); ok {
+		t.Error("Hamming of different-length strings should report undefined")
+	}
+	if d, ok := Hamming("1011101", "1001001"); !ok || d != 2 {
+		t.Errorf("Hamming binary = %d,%v want 2,true", d, ok)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{nil, []string{"a"}, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a", "a", "b"}, []string{"a", "b", "b"}, 1}, // multiset collapse
+		{[]string{"a"}, []string{"b"}, 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); !close64(got, c.want) {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardDistanceComplement(t *testing.T) {
+	f := func(a, b []string) bool {
+		return close64(JaccardDistance(a, b), 1-Jaccard(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccardSymmetryAndRange(t *testing.T) {
+	f := func(a, b []string) bool {
+		s1 := Jaccard(a, b)
+		s2 := Jaccard(b, a)
+		return close64(s1, s2) && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine(nil, nil); got != 1 {
+		t.Errorf("Cosine(nil, nil) = %v, want 1", got)
+	}
+	if got := Cosine([]string{"a"}, nil); got != 0 {
+		t.Errorf("Cosine with one empty = %v, want 0", got)
+	}
+	if got := Cosine([]string{"a", "b"}, []string{"a", "b"}); !close64(got, 1) {
+		t.Errorf("Cosine of identical = %v, want 1", got)
+	}
+	if got := Cosine([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("Cosine of disjoint = %v, want 0", got)
+	}
+	// counts: a=(2,1), b=(1,2) over tokens {x,y}: dot=4, |a|=|b|=sqrt(5).
+	got := Cosine([]string{"x", "x", "y"}, []string{"x", "y", "y"})
+	if !close64(got, 4.0/5.0) {
+		t.Errorf("Cosine multiset = %v, want 0.8", got)
+	}
+}
+
+func TestCosineRangeProperty(t *testing.T) {
+	f := func(a, b []string) bool {
+		s := Cosine(a, b)
+		return s >= 0 && s <= 1+1e-9 && close64(s, Cosine(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"martha", "marhta", 0.9611111111111111},
+		{"dwayne", "duane", 0.8400000000000001},
+		{"dixon", "dicksonx", 0.8133333333333332},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !close64(got, c.want) {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinRandomEditsUpperBound(t *testing.T) {
+	// Applying n random single-rune edits to a string yields edit
+	// distance at most n from the original.
+	rng := rand.New(rand.NewSource(7))
+	letters := "abcdefghij"
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(20) + 1
+		base := make([]rune, n)
+		for i := range base {
+			base[i] = rune(letters[rng.Intn(len(letters))])
+		}
+		edits := rng.Intn(5)
+		mutated := append([]rune(nil), base...)
+		for e := 0; e < edits; e++ {
+			if len(mutated) == 0 {
+				mutated = append(mutated, rune(letters[rng.Intn(len(letters))]))
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0: // substitute
+				mutated[rng.Intn(len(mutated))] = rune(letters[rng.Intn(len(letters))])
+			case 1: // delete
+				i := rng.Intn(len(mutated))
+				mutated = append(mutated[:i], mutated[i+1:]...)
+			case 2: // insert
+				i := rng.Intn(len(mutated) + 1)
+				mutated = append(mutated[:i], append([]rune{rune(letters[rng.Intn(len(letters))])}, mutated[i:]...)...)
+			}
+		}
+		if d := Levenshtein(string(base), string(mutated)); d > edits {
+			t.Fatalf("edit distance %d exceeds %d edits applied (base %q mutated %q)",
+				d, edits, string(base), string(mutated))
+		}
+	}
+}
+
+func TestJaccardOnRealisticDrugNames(t *testing.T) {
+	a := strings.Fields("influenza vaccine dtpa vaccine")
+	b := strings.Fields("influenza vaccine dtpa vaccine")
+	if got := Jaccard(a, b); got != 1 {
+		t.Errorf("identical drug lists Jaccard = %v, want 1", got)
+	}
+	c := strings.Fields("atorvastatin")
+	if got := Jaccard(a, c); got != 0 {
+		t.Errorf("disjoint drug lists Jaccard = %v, want 0", got)
+	}
+}
+
+func close64(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,117 @@
+package strsim
+
+import "math"
+
+// NGrams returns the n-grams of the token sequence (word n-grams joined
+// with '\x1f'), a standard record-linkage field representation that keeps
+// some word order, unlike plain token sets. n <= 1 returns the tokens.
+func NGrams(tokens []string, n int) []string {
+	if n <= 1 || len(tokens) == 0 {
+		return tokens
+	}
+	if len(tokens) < n {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		g := tokens[i]
+		for j := 1; j < n; j++ {
+			g += "\x1f" + tokens[i+j]
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// CharNGrams returns the character n-grams of s (runes), the usual
+// representation for short noisy strings like drug names.
+func CharNGrams(s string, n int) []string {
+	runes := []rune(s)
+	if n <= 0 || len(runes) < n {
+		if len(runes) == 0 || n <= 0 {
+			return nil
+		}
+		return []string{s}
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}
+
+// IDFModel holds inverse document frequencies learned from a corpus of
+// token lists. Rare tokens (drug names, reaction terms) weigh more than
+// boilerplate, sharpening text similarity between report narratives.
+type IDFModel struct {
+	idf  map[string]float64
+	docs float64
+}
+
+// NewIDFModel computes smoothed IDF weights from the documents:
+// idf(t) = ln((1+N)/(1+df(t))) + 1.
+func NewIDFModel(docs [][]string) *IDFModel {
+	df := make(map[string]float64)
+	for _, d := range docs {
+		seen := make(map[string]struct{}, len(d))
+		for _, t := range d {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				df[t]++
+			}
+		}
+	}
+	n := float64(len(docs))
+	idf := make(map[string]float64, len(df))
+	for t, f := range df {
+		idf[t] = math.Log((1+n)/(1+f)) + 1
+	}
+	return &IDFModel{idf: idf, docs: n}
+}
+
+// Weight returns the IDF weight of a token. Unseen tokens get the maximal
+// smoothed weight (they are rarer than anything observed).
+func (m *IDFModel) Weight(token string) float64 {
+	if w, ok := m.idf[token]; ok {
+		return w
+	}
+	return math.Log(1+m.docs) + 1
+}
+
+// Cosine computes TF-IDF weighted cosine similarity between two token
+// lists. Two empty lists are fully similar; one empty list is dissimilar.
+func (m *IDFModel) Cosine(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	wa := m.vector(a)
+	wb := m.vector(b)
+	var dot, na, nb float64
+	for t, x := range wa {
+		na += x * x
+		if y, ok := wb[t]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range wb {
+		nb += y * y
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func (m *IDFModel) vector(tokens []string) map[string]float64 {
+	tf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for t, f := range tf {
+		tf[t] = f * m.Weight(t)
+	}
+	return tf
+}

@@ -1,0 +1,105 @@
+package strsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNGrams(t *testing.T) {
+	toks := strings.Fields("a b c d")
+	got := NGrams(toks, 2)
+	want := []string{"a\x1fb", "b\x1fc", "c\x1fd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("bigrams = %v", got)
+	}
+	if got := NGrams(toks, 1); !reflect.DeepEqual(got, toks) {
+		t.Errorf("n=1 should return tokens: %v", got)
+	}
+	if got := NGrams(toks, 5); got != nil {
+		t.Errorf("n>len should be nil: %v", got)
+	}
+	if got := NGrams(nil, 2); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := NGrams(toks, 4); !reflect.DeepEqual(got, []string{"a\x1fb\x1fc\x1fd"}) {
+		t.Errorf("n=len: %v", got)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("abcd", 2)
+	if !reflect.DeepEqual(got, []string{"ab", "bc", "cd"}) {
+		t.Errorf("char bigrams = %v", got)
+	}
+	if got := CharNGrams("ab", 3); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("short string = %v", got)
+	}
+	if got := CharNGrams("", 2); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := CharNGrams("résumé", 3); len(got) != 4 {
+		t.Errorf("rune handling: %v", got)
+	}
+	// Trigram Jaccard between near-identical drug names is high.
+	a := CharNGrams("atorvastatin", 3)
+	b := CharNGrams("atorvastatine", 3)
+	if Jaccard(a, b) < 0.8 {
+		t.Errorf("trigram Jaccard of near-identical names = %v", Jaccard(a, b))
+	}
+}
+
+func TestIDFModelWeights(t *testing.T) {
+	docs := [][]string{
+		{"patient", "cough"},
+		{"patient", "rhabdomyolysis"},
+		{"patient", "cough", "headache"},
+		{"patient", "fever"},
+	}
+	m := NewIDFModel(docs)
+	common := m.Weight("patient") // in every doc
+	rare := m.Weight("rhabdomyolysis")
+	unseen := m.Weight("neverseen")
+	if common >= rare {
+		t.Errorf("common weight %v not below rare %v", common, rare)
+	}
+	if unseen < rare {
+		t.Errorf("unseen weight %v below rare %v", unseen, rare)
+	}
+}
+
+func TestIDFCosine(t *testing.T) {
+	docs := [][]string{
+		{"patient", "experienced", "cough"},
+		{"patient", "experienced", "rash"},
+		{"patient", "experienced", "rhabdomyolysis"},
+		{"patient", "experienced", "fever"},
+	}
+	m := NewIDFModel(docs)
+	if got := m.Cosine(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v", got)
+	}
+	if got := m.Cosine([]string{"a"}, nil); got != 0 {
+		t.Errorf("empty-one = %v", got)
+	}
+	same := []string{"patient", "rhabdomyolysis"}
+	if got := m.Cosine(same, same); got < 0.999 {
+		t.Errorf("identical = %v", got)
+	}
+	// Sharing the rare term must beat sharing the common term.
+	rareShared := m.Cosine(
+		[]string{"patient", "rhabdomyolysis"},
+		[]string{"experienced", "rhabdomyolysis"})
+	commonShared := m.Cosine(
+		[]string{"patient", "rhabdomyolysis"},
+		[]string{"patient", "fever"})
+	if rareShared <= commonShared {
+		t.Errorf("rare-term overlap (%v) should beat common-term overlap (%v)",
+			rareShared, commonShared)
+	}
+	// Plain cosine cannot make that distinction.
+	if Cosine([]string{"patient", "rhabdomyolysis"}, []string{"experienced", "rhabdomyolysis"}) !=
+		Cosine([]string{"patient", "rhabdomyolysis"}, []string{"patient", "fever"}) {
+		t.Error("control: unweighted cosine should tie these")
+	}
+}

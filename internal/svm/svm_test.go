@@ -1,0 +1,179 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearlySeparable builds points labelled by the sign of x0 + x1 - 1.
+func linearlySeparable(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float64, 0, n)
+	labels := make([]int, 0, n)
+	for len(data) < n {
+		x := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		switch {
+		case x[0]+x[1] > 1.2:
+			data = append(data, x)
+			labels = append(labels, 1)
+		case x[0]+x[1] < 0.8:
+			data = append(data, x)
+			labels = append(labels, -1)
+			// Points inside the margin band are resampled.
+		}
+	}
+	return data, labels
+}
+
+func TestTrainSeparable(t *testing.T) {
+	data, labels := linearlySeparable(600, 1)
+	m, err := Train(data, labels, Options{Epochs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, v := range data {
+		if m.Predict(v) == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(data))
+	if acc < 0.97 {
+		t.Errorf("training accuracy = %.3f, want >= 0.97 on separable data", acc)
+	}
+}
+
+func TestDecisionMonotoneAlongNormal(t *testing.T) {
+	data, labels := linearlySeparable(400, 3)
+	m, err := Train(data, labels, Options{Epochs: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := m.Decision([]float64{0, 0})
+	hi := m.Decision([]float64{2, 2})
+	if lo >= hi {
+		t.Errorf("decision not increasing toward positive side: %v vs %v", lo, hi)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("empty data must be rejected")
+	}
+	if _, err := Train([][]float64{{1}}, []int{1, -1}, Options{}); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []int{1, 1}, Options{}); err == nil {
+		t.Error("single-class data must be rejected")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []int{1, 0}, Options{}); err == nil {
+		t.Error("label 0 must be rejected")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []int{1, -1}, Options{}); err == nil {
+		t.Error("ragged dims must be rejected")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	data, labels := linearlySeparable(300, 5)
+	a, err := Train(data, labels, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, labels, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.W {
+		if a.W[d] != b.W[d] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	if a.B != b.B {
+		t.Fatal("same seed produced different bias")
+	}
+}
+
+func TestStandardizationHandlesConstantFeature(t *testing.T) {
+	data := [][]float64{{0, 1}, {1, 1}, {0.2, 1}, {0.9, 1}}
+	labels := []int{-1, 1, -1, 1}
+	m, err := Train(data, labels, Options{Epochs: 50, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		if d := m.Decision(v); math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("decision not finite: %v", d)
+		}
+	}
+}
+
+func TestDecisionBatch(t *testing.T) {
+	data, labels := linearlySeparable(200, 9)
+	m, err := Train(data, labels, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.DecisionBatch(data[:10])
+	for i, v := range data[:10] {
+		if batch[i] != m.Decision(v) {
+			t.Fatal("batch decision differs from single decision")
+		}
+	}
+}
+
+func TestPositiveWeightShiftsBoundary(t *testing.T) {
+	// Heavily imbalanced data: upweighting positives must not reduce, and
+	// typically raises, recall at threshold zero.
+	rng := rand.New(rand.NewSource(11))
+	var data [][]float64
+	var labels []int
+	for i := 0; i < 20; i++ {
+		data = append(data, []float64{0.1 + rng.NormFloat64()*0.05})
+		labels = append(labels, 1)
+	}
+	for i := 0; i < 1000; i++ {
+		data = append(data, []float64{0.5 + rng.Float64()*0.5})
+		labels = append(labels, -1)
+	}
+	recallAt := func(w float64) float64 {
+		m, err := Train(data, labels, Options{Epochs: 20, Seed: 12, PositiveWeight: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := 0
+		for i, v := range data {
+			if labels[i] == 1 && m.Predict(v) == 1 {
+				tp++
+			}
+		}
+		return float64(tp) / 20
+	}
+	if recallAt(50) < recallAt(1) {
+		t.Error("positive weighting reduced recall on imbalanced data")
+	}
+}
+
+func TestTrainClustered(t *testing.T) {
+	data, labels := linearlySeparable(800, 13)
+	m, err := TrainClustered(data, labels, 8, Options{Epochs: 20, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, v := range data {
+		if m.Predict(v) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(data)); acc < 0.9 {
+		t.Errorf("clustered-SVM accuracy = %.3f", acc)
+	}
+	if _, err := TrainClustered(data, labels, 0, Options{}); err == nil {
+		t.Error("zero clusters must be rejected")
+	}
+	if _, err := TrainClustered(nil, nil, 4, Options{}); err == nil {
+		t.Error("empty data must be rejected")
+	}
+}
