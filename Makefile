@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the CI gate: vet, build everything, run the full suite with the
+# race detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -8,6 +8,11 @@
 //	adrdedup gen     -out reports.json -truth truth.json [-n 10382] [-dups 286] [-seed 1]
 //	adrdedup summary -db reports.json
 //	adrdedup detect  -db reports.json -batch batch.json -labels labels.json [-theta 0] [-top 20]
+//	                 [-trace trace.json] [-metrics-out metrics.json]
+//
+// detect's -trace flag records a structured stage/task event log on the
+// embedded cluster, exports it as JSON, and prints a per-stage virtual-time
+// summary to stderr; -metrics-out dumps the final cluster counter snapshot.
 //
 // File formats: reports and batches are JSON arrays of report objects (see
 // internal/adr); labels are a JSON array of {"caseA", "caseB", "duplicate"}
@@ -54,7 +59,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   adrdedup gen     -out reports.json -truth truth.json [-n 10382] [-dups 286] [-seed 1]
   adrdedup summary -db reports.json
-  adrdedup detect  -db reports.json -batch batch.json -labels labels.json [-theta 0] [-top 20]`)
+  adrdedup detect  -db reports.json -batch batch.json -labels labels.json [-theta 0] [-top 20]
+                   [-trace trace.json] [-metrics-out metrics.json]`)
 }
 
 // labelPair is the expert-label record the detect command consumes.
@@ -130,6 +136,8 @@ func runDetect(args []string) error {
 	b := fs.Int("b", 32, "training cluster number")
 	top := fs.Int("top", 20, "matches to print")
 	executors := fs.Int("executors", 8, "simulated executors")
+	tracePath := fs.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
+	metricsPath := fs.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -148,7 +156,7 @@ func runDetect(args []string) error {
 	}
 
 	det, err := adrdedup.New(adrdedup.Options{
-		Cluster:    cluster.Config{Executors: *executors},
+		Cluster:    cluster.Config{Executors: *executors, Trace: *tracePath != ""},
 		Classifier: core.Config{K: *k, B: *b, Theta: *theta},
 	})
 	if err != nil {
@@ -192,6 +200,34 @@ func runDetect(args []string) error {
 			flag = "yes"
 		}
 		fmt.Printf("%-18s %-18s %12.3f %s\n", m.CaseA, m.CaseB, m.Score, flag)
+	}
+	return writeObservability(det.Engine().Cluster(), *tracePath, *metricsPath)
+}
+
+// writeObservability exports the trace event log and metrics snapshot of a
+// finished run, plus a human-readable per-stage summary on stderr when
+// tracing was on.
+func writeObservability(cl *cluster.Cluster, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := cl.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\ntrace: %d events written to %s (%d dropped)\n",
+			cl.Tracer().Len(), tracePath, cl.Tracer().Dropped())
+		cluster.WriteStageSummary(os.Stderr, cl.StageHistory())
+	}
+	if metricsPath != "" {
+		if err := writeJSON(metricsPath, cl.Metrics().Snapshot()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"adrdedup/internal/cluster"
 	"adrdedup/internal/eval"
 	"adrdedup/internal/experiments"
 )
@@ -26,6 +28,8 @@ func main() {
 	scale := flag.Float64("scale", 1, "multiplier on pair-set sizes (10 = paper scale)")
 	seed := flag.Int64("seed", 1, "corpus and sampling seed")
 	quick := flag.Bool("quick", false, "reduced corpus and pair counts for smoke runs")
+	tracePath := flag.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
+	metricsPath := flag.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
 		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation all\n")
@@ -37,18 +41,67 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := &runner{scale: *scale, seed: *seed, quick: *quick}
-	if err := r.run(flag.Arg(0)); err != nil {
+	r := &runner{scale: *scale, seed: *seed, quick: *quick, trace: *tracePath, metricsOut: *metricsPath}
+	runErr := r.run(flag.Arg(0))
+	// Export observability artifacts even after a failed exhibit: a trace
+	// of the failing run is exactly what's needed to debug it.
+	if err := r.writeArtifacts(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }
 
 type runner struct {
-	scale float64
-	seed  int64
-	quick bool
-	env   *experiments.Env
+	scale      float64
+	seed       int64
+	quick      bool
+	trace      string
+	metricsOut string
+	env        *experiments.Env
+}
+
+// writeArtifacts exports the trace event log (spanning every engine reset of
+// the run) and the final cluster's metrics snapshot, if requested.
+func (r *runner) writeArtifacts() error {
+	if r.env == nil {
+		return nil
+	}
+	cl := r.env.Ctx.Cluster()
+	if r.trace != "" {
+		f, err := os.Create(r.trace)
+		if err != nil {
+			return err
+		}
+		if err := cl.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", r.trace, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\ntrace: %d events written to %s (%d dropped)\n",
+			cl.Tracer().Len(), r.trace, cl.Tracer().Dropped())
+		fmt.Fprintln(os.Stderr, "per-stage summary (current engine, most recent 512 stages):")
+		cluster.WriteStageSummary(os.Stderr, cl.StageHistory())
+	}
+	if r.metricsOut != "" {
+		f, err := os.Create(r.metricsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cl.Metrics().Snapshot()); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", r.metricsOut, err)
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func (r *runner) run(exhibit string) error {
@@ -85,9 +138,11 @@ func (r *runner) environment() (*experiments.Env, error) {
 	if r.quick {
 		corpus = experiments.SmallCorpus(r.seed)
 	}
+	clusterCfg := experiments.DefaultCluster()
+	clusterCfg.Trace = r.trace != ""
 	start := time.Now()
 	env, err := experiments.NewEnv(experiments.EnvConfig{
-		Cluster: experiments.DefaultCluster(),
+		Cluster: clusterCfg,
 		Corpus:  corpus,
 		Seed:    r.seed,
 	})

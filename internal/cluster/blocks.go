@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 )
 
@@ -48,11 +49,24 @@ func (b *BlockStore) Get(id BlockID) (any, bool) {
 	el, ok := b.index[id]
 	if !ok {
 		b.cluster.metrics.BlockMisses.Add(1)
+		b.traceBlock(EventBlockMiss, id, 0)
 		return nil, false
 	}
 	b.lru.MoveToFront(el)
 	b.cluster.metrics.BlockHits.Add(1)
-	return el.Value.(*blockEntry).data, true
+	e := el.Value.(*blockEntry)
+	b.traceBlock(EventBlockHit, id, e.bytes)
+	return e.data, true
+}
+
+// traceBlock emits one block-store trace event; the Enabled check keeps the
+// disabled path free of the Detail formatting.
+func (b *BlockStore) traceBlock(kind EventKind, id BlockID, bytes int64) {
+	if !b.cluster.tracer.Enabled() {
+		return
+	}
+	b.cluster.tracer.Emit(Event{Kind: kind, Task: -1, Attempt: -1, Bytes: bytes,
+		Detail: fmt.Sprintf("rdd%d/p%d", id.RDD, id.Partition)})
 }
 
 // Put caches a partition. Blocks larger than the whole store are rejected
@@ -74,6 +88,7 @@ func (b *BlockStore) Put(id BlockID, data any, bytes int64) bool {
 		b.index[id] = b.lru.PushFront(e)
 		b.used += bytes
 		b.cluster.metrics.BlocksCached.Add(1)
+		b.traceBlock(EventBlockCached, id, bytes)
 	}
 	for b.used > b.capacity {
 		b.evictLocked()
@@ -92,6 +107,7 @@ func (b *BlockStore) evictLocked() {
 	delete(b.index, e.id)
 	b.used -= e.bytes
 	b.cluster.metrics.BlockEvictions.Add(1)
+	b.traceBlock(EventBlockEvict, e.id, e.bytes)
 }
 
 // Remove drops a specific block if present (Unpersist support).

@@ -63,7 +63,10 @@ type Config struct {
 	SchedulerOverheadMS float64
 	// FailureRate is the probability that any given task attempt fails.
 	FailureRate float64
-	// MaxTaskRetries bounds attempts per task (first run + retries).
+	// MaxTaskRetries bounds the retries after a task's first attempt: a
+	// task runs at most 1+MaxTaskRetries attempts before the stage fails
+	// with ErrTaskFailed. Injected failures, pressure timeouts, and
+	// genuine task errors all consume the same retry budget, as in Spark.
 	MaxTaskRetries int
 	// SpillPenalty multiplies a task's virtual duration when its working
 	// set exceeds executor memory (simulated spill/GC thrash).
@@ -80,6 +83,13 @@ type Config struct {
 	// names executor load balancing as future work (§7); LPT implements
 	// it.
 	Scheduling SchedulePolicy
+	// Trace enables the structured stage/task event log (see Tracer).
+	// Disabled tracing costs one atomic load per would-be event.
+	Trace bool
+	// TraceCapacity bounds the trace event ring; 0 selects the default
+	// (65536 events). When the ring wraps, the oldest events are dropped
+	// and counted.
+	TraceCapacity int
 }
 
 // SchedulePolicy is the task placement policy of the virtual scheduler.
@@ -146,6 +156,7 @@ type Cluster struct {
 	shuffles *ShuffleService
 	metrics  *Metrics
 	history  stageHistory
+	tracer   *Tracer
 }
 
 // New creates a cluster with the given configuration.
@@ -155,6 +166,10 @@ func New(cfg Config) *Cluster {
 	c.blocks = newBlockStore(int64(cfg.Executors)*int64(cfg.MemoryPerExecutorMB)*mb, c)
 	c.shuffles = newShuffleService()
 	c.metrics = &Metrics{}
+	c.tracer = NewTracer(cfg.TraceCapacity)
+	if cfg.Trace {
+		c.tracer.Enable()
+	}
 	return c
 }
 
@@ -184,14 +199,49 @@ func (c *Cluster) ResetClock() {
 	c.mu.Unlock()
 }
 
-// StageStats reports one stage's execution.
+// StageStats reports one stage's execution, including the virtual-time
+// breakdown and a per-task view. Stages that fail (a task exhausted its
+// retries) are still fully accounted: their stats are recorded in the
+// metrics registry and stage history before RunStage returns the error.
 type StageStats struct {
-	Name            string
-	Tasks           int
-	Attempts        int
-	Failures        int
+	Name     string
+	Tasks    int
+	Attempts int
+	Failures int
+	// VirtualDuration is the stage's virtual makespan (list-scheduled
+	// onto the executor slots) plus scheduler overhead.
 	VirtualDuration time.Duration
-	RealDuration    time.Duration
+	// ComputeDuration sums the tasks' measured single-threaded compute
+	// time across all attempts (before list scheduling).
+	ComputeDuration time.Duration
+	// ShuffleWaitDuration sums the tasks' simulated shuffle-fetch waits
+	// across all attempts.
+	ShuffleWaitDuration time.Duration
+	// SchedulerOverhead is the fixed per-stage coordination cost included
+	// in VirtualDuration.
+	SchedulerOverhead time.Duration
+	RealDuration      time.Duration
+	// TaskStats breaks the stage down per task, including the virtual
+	// slot each task was list-scheduled onto.
+	TaskStats []TaskStat
+}
+
+// TaskStat is one task's share of a stage, summed over all its attempts.
+type TaskStat struct {
+	Task     int
+	Attempts int
+	Failures int
+	// Slot is the virtual executor slot (0..Executors*CoresPerExecutor-1)
+	// the task's duration was list-scheduled onto.
+	Slot int
+	// ComputeDuration is the measured single-threaded compute time.
+	ComputeDuration time.Duration
+	// ShuffleWaitDuration is the simulated shuffle-fetch wait.
+	ShuffleWaitDuration time.Duration
+	// VirtualDuration is the total virtual time charged to the slot
+	// (compute + simulated I/O, across all attempts, after any spill
+	// penalty).
+	VirtualDuration time.Duration
 }
 
 // ErrTaskFailed is returned when a task exhausts its retry budget.
@@ -206,12 +256,10 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 	c.stageCounter++
 	stageID := c.stageCounter
 	c.mu.Unlock()
+	c.tracer.Emit(Event{Kind: EventStageStart, Stage: name, StageID: stageID, Task: -1, Attempt: -1})
 
 	start := time.Now()
-	durations := make([]float64, numTasks)
-	attempts := make([]int, numTasks)
-	failures := make([]int, numTasks)
-	errs := make([]error, numTasks)
+	outcomes := make([]taskOutcome, numTasks)
 
 	sem := make(chan struct{}, c.cfg.RealParallelism)
 	var wg sync.WaitGroup
@@ -221,46 +269,93 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 		go func(task int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			durations[task], attempts[task], failures[task], errs[task] = c.runTask(stageID, task, run)
+			outcomes[task] = c.runTask(stageID, name, task, run)
 		}(i)
 	}
 	wg.Wait()
 
-	stats := StageStats{Name: name, Tasks: numTasks, RealDuration: time.Since(start)}
-	for i := 0; i < numTasks; i++ {
-		if errs[i] != nil {
-			return stats, fmt.Errorf("stage %q task %d: %w", name, i, errs[i])
+	stats := StageStats{
+		Name:         name,
+		Tasks:        numTasks,
+		RealDuration: time.Since(start),
+		TaskStats:    make([]TaskStat, numTasks),
+	}
+	durations := make([]float64, numTasks)
+	var firstErr error
+	for i, o := range outcomes {
+		durations[i] = o.virtualNS
+		stats.Attempts += o.attempts
+		stats.Failures += o.failures
+		stats.ComputeDuration += time.Duration(o.computeNS)
+		stats.ShuffleWaitDuration += time.Duration(o.shuffleWaitNS)
+		stats.TaskStats[i] = TaskStat{
+			Task:                i,
+			Attempts:            o.attempts,
+			Failures:            o.failures,
+			ComputeDuration:     time.Duration(o.computeNS),
+			ShuffleWaitDuration: time.Duration(o.shuffleWaitNS),
+			VirtualDuration:     time.Duration(o.virtualNS),
 		}
-		stats.Attempts += attempts[i]
-		stats.Failures += failures[i]
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stage %q task %d: %w", name, i, o.err)
+		}
 	}
 
-	makespanNS := c.listSchedule(durations)
+	makespanNS, slots := c.listScheduleSlots(durations)
+	for i := range stats.TaskStats {
+		stats.TaskStats[i].Slot = slots[i]
+	}
 	overheadNS := c.cfg.SchedulerOverheadMS * 1e6 * (1 + 0.05*float64(c.cfg.Executors))
 	stats.VirtualDuration = time.Duration(makespanNS + overheadNS)
+	stats.SchedulerOverhead = time.Duration(overheadNS)
 
 	c.mu.Lock()
 	c.virtualNS += makespanNS + overheadNS
 	c.mu.Unlock()
 
+	// Failed stages are accounted like successful ones: their attempts,
+	// failures, and virtual time happened and must not vanish from the
+	// metrics or the stage history.
 	c.metrics.StagesRun.Add(1)
 	c.metrics.TasksLaunched.Add(int64(stats.Attempts))
 	c.metrics.TaskFailures.Add(int64(stats.Failures))
 	c.history.add(stats)
-	return stats, nil
+	if c.tracer.Enabled() {
+		e := Event{Kind: EventStageEnd, Stage: name, StageID: stageID,
+			Task: -1, Attempt: -1, VirtualNS: makespanNS + overheadNS}
+		if firstErr != nil {
+			e.Detail = firstErr.Error()
+		}
+		c.tracer.Emit(e)
+	}
+	return stats, firstErr
 }
 
-// runTask executes one task with retries; it returns the task's total virtual
-// duration (all attempts), the number of attempts, failures, and the final
-// error (nil on success).
-func (c *Cluster) runTask(stageID, task int, run func(tc *TaskContext) error) (float64, int, int, error) {
-	var totalVirtual float64
-	for attempt := 0; attempt < c.cfg.MaxTaskRetries; attempt++ {
-		tc := &TaskContext{cluster: c, stageID: stageID, task: task, attempt: attempt}
+// taskOutcome is what one task (across all its attempts) reports back to
+// RunStage.
+type taskOutcome struct {
+	virtualNS     float64
+	computeNS     float64
+	shuffleWaitNS float64
+	attempts      int
+	failures      int
+	err           error
+}
+
+// runTask executes one task, retrying failed attempts (injected, pressure
+// timeouts, and genuine errors alike) up to MaxTaskRetries times after the
+// first attempt. Every attempt's virtual time is charged to the task's slot;
+// only a successful attempt commits its buffered side effects.
+func (c *Cluster) runTask(stageID int, stageName string, task int, run func(tc *TaskContext) error) taskOutcome {
+	var out taskOutcome
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxTaskRetries; attempt++ {
+		tc := &TaskContext{cluster: c, stageID: stageID, stageName: stageName, task: task, attempt: attempt}
+		c.tracer.Emit(Event{Kind: EventTaskStart, Stage: stageName, StageID: stageID, Task: task, Attempt: attempt})
 		realStart := time.Now()
 		err := run(tc)
 		computeNS := float64(time.Since(realStart).Nanoseconds())
-		virtual := computeNS + tc.virtualNS
+		virtual := computeNS + tc.virtualNS + tc.shuffleWaitNS
 
 		pressured := false
 		if tc.workingSetBytes > int64(c.cfg.MemoryPerExecutorMB)*mb {
@@ -268,27 +363,49 @@ func (c *Cluster) runTask(stageID, task int, run func(tc *TaskContext) error) (f
 			pressured = true
 			c.metrics.PressureEvents.Add(1)
 		}
+		out.attempts = attempt + 1
+		out.virtualNS += virtual
+		out.computeNS += computeNS
+		out.shuffleWaitNS += tc.shuffleWaitNS
 
 		if err != nil {
-			totalVirtual += virtual
-			return totalVirtual, attempt + 1, attempt + 1, err
+			out.failures++
+			lastErr = err
+			tc.discard()
+			if c.tracer.Enabled() {
+				c.tracer.Emit(Event{Kind: EventTaskError, Stage: stageName, StageID: stageID,
+					Task: task, Attempt: attempt, VirtualNS: virtual, Detail: err.Error()})
+			}
+			continue
 		}
 
-		fail := c.injectFailure(stageID, task, attempt)
-		if pressured && c.cfg.PressureTimeouts && attempt == 0 {
-			fail = true // simulated executor timeout under memory pressure
+		kind := EventKind("")
+		if c.injectFailure(stageID, task, attempt) {
+			kind = EventTaskFailInjected
 		}
-		if fail {
-			totalVirtual += virtual
+		if pressured && c.cfg.PressureTimeouts && attempt == 0 {
+			// Simulated executor timeout under memory pressure.
+			kind = EventTaskPressureTimeout
+		}
+		if kind != "" {
+			out.failures++
 			tc.discard()
+			c.tracer.Emit(Event{Kind: kind, Stage: stageName, StageID: stageID,
+				Task: task, Attempt: attempt, VirtualNS: virtual})
 			continue
 		}
 
 		tc.commit()
-		totalVirtual += virtual
-		return totalVirtual, attempt + 1, attempt, nil
+		c.tracer.Emit(Event{Kind: EventTaskSuccess, Stage: stageName, StageID: stageID,
+			Task: task, Attempt: attempt, VirtualNS: virtual})
+		return out
 	}
-	return totalVirtual, c.cfg.MaxTaskRetries, c.cfg.MaxTaskRetries, ErrTaskFailed
+	if lastErr != nil {
+		out.err = fmt.Errorf("%w: %w", ErrTaskFailed, lastErr)
+	} else {
+		out.err = ErrTaskFailed
+	}
+	return out
 }
 
 // injectFailure decides deterministically whether the given attempt fails.
@@ -307,18 +424,29 @@ func (c *Cluster) injectFailure(stageID, task, attempt int) bool {
 // nanoseconds. Placement order follows the configured policy: submission
 // order (FIFO) or longest-first (LPT load balancing).
 func (c *Cluster) listSchedule(durations []float64) float64 {
+	makespan, _ := c.listScheduleSlots(durations)
+	return makespan
+}
+
+// listScheduleSlots is listSchedule returning also the slot each task was
+// placed on, indexed by the task's original (submission-order) position.
+func (c *Cluster) listScheduleSlots(durations []float64) (float64, []int) {
 	slots := c.cfg.Executors * c.cfg.CoresPerExecutor
 	if slots < 1 {
 		slots = 1
 	}
+	order := make([]int, len(durations))
+	for i := range order {
+		order[i] = i
+	}
 	if c.cfg.Scheduling == ScheduleLPT {
-		sorted := make([]float64, len(durations))
-		copy(sorted, durations)
-		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
-		durations = sorted
+		sort.SliceStable(order, func(a, b int) bool {
+			return durations[order[a]] > durations[order[b]]
+		})
 	}
 	avail := make([]float64, slots)
-	for _, d := range durations {
+	assigned := make([]int, len(durations))
+	for _, task := range order {
 		// Earliest-available slot; linear scan is fine for slot counts
 		// in the hundreds.
 		best := 0
@@ -327,7 +455,8 @@ func (c *Cluster) listSchedule(durations []float64) float64 {
 				best = s
 			}
 		}
-		avail[best] += d
+		avail[best] += durations[task]
+		assigned[task] = best
 	}
 	makespan := 0.0
 	for _, t := range avail {
@@ -335,7 +464,7 @@ func (c *Cluster) listSchedule(durations []float64) float64 {
 			makespan = t
 		}
 	}
-	return makespan
+	return makespan, assigned
 }
 
 // Broadcast charges the virtual cost of distributing bytes to every
@@ -349,6 +478,8 @@ func (c *Cluster) Broadcast(bytes int64) {
 	c.virtualNS += perHop * depth
 	c.mu.Unlock()
 	c.metrics.BroadcastBytes.Add(bytes)
+	c.tracer.Emit(Event{Kind: EventBroadcast, Task: -1, Attempt: -1,
+		Bytes: bytes, VirtualNS: perHop * depth})
 }
 
 // SlotCount returns the number of virtual task slots (executors x cores).

@@ -2,20 +2,37 @@ package cluster
 
 // TaskContext is handed to every task attempt. It accumulates the attempt's
 // simulated I/O time, bookkeeping counters, and buffered shuffle writes.
-// Shuffle writes become visible to downstream stages only when the attempt
-// succeeds (commit-on-success, as in Spark); a failed attempt's writes are
-// discarded, which is what makes task retry safe.
+//
+// All observable side effects of an attempt are commit-on-success, as in
+// Spark: shuffle writes become visible to downstream stages, and metric
+// deltas (records, comparisons, shuffle bytes read/written) are folded into
+// the cluster-wide Metrics registry, only when the attempt succeeds. A
+// failed or fail-injected attempt's buffered writes and counter deltas are
+// discarded, which is what makes task retry safe — and what keeps the
+// experiment harness's comparison/shuffle counters identical between
+// fault-free and fault-injected runs of the same job.
 //
 // A TaskContext is used by a single goroutine (its task); it must not be
 // shared across tasks.
 type TaskContext struct {
-	cluster *Cluster
-	stageID int
-	task    int
-	attempt int
+	cluster   *Cluster
+	stageID   int
+	stageName string
+	task      int
+	attempt   int
 
+	// Attempt-scoped virtual time. virtualNS is general simulated I/O
+	// (broadcast reads, user-charged waits); shuffleWaitNS is the share
+	// spent fetching shuffle blocks, tracked separately so StageStats can
+	// report a compute vs. shuffle-wait breakdown.
 	virtualNS       float64
+	shuffleWaitNS   float64
 	workingSetBytes int64
+
+	// Buffered metric deltas, folded into cluster.Metrics in commit().
+	records          int64
+	comparisons      int64
+	shuffleBytesRead int64
 
 	pendingShuffle []pendingWrite
 }
@@ -34,15 +51,17 @@ func (tc *TaskContext) Task() int { return tc.task }
 // Attempt returns the zero-based attempt number of this execution.
 func (tc *TaskContext) Attempt() int { return tc.attempt }
 
-// AddRecords counts records processed by the task (throughput metric).
+// AddRecords counts records processed by the task (throughput metric). The
+// count is buffered and committed only if the attempt succeeds.
 func (tc *TaskContext) AddRecords(n int64) {
-	tc.cluster.metrics.RecordsProcessed.Add(n)
+	tc.records += n
 }
 
 // AddComparisons counts pairwise comparisons performed by the task; the
-// experiment harness reads this for the paper's Figs. 7-8.
+// experiment harness reads this for the paper's Figs. 7-8. The count is
+// buffered and committed only if the attempt succeeds.
 func (tc *TaskContext) AddComparisons(n int64) {
-	tc.cluster.metrics.Comparisons.Add(n)
+	tc.comparisons += n
 }
 
 // AddVirtualNS adds simulated (non-CPU) time to the attempt, e.g. network
@@ -75,26 +94,45 @@ func (tc *TaskContext) WriteShuffle(shuffleID, reduceID int, data any, records, 
 }
 
 // FetchShuffle reads all committed map-output blocks for the given reduce
-// partition and charges the simulated network transfer to this attempt.
+// partition and charges the simulated network transfer to this attempt as
+// shuffle-wait time. The bytes-read metric is buffered and committed only if
+// the attempt succeeds.
 func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
 	blocks, bytes := tc.cluster.shuffles.fetch(shuffleID, reduceID)
 	cfg := tc.cluster.cfg
 	transferNS := float64(bytes)/(cfg.NetworkMBps*1e6)*1e9 +
 		cfg.ShuffleLatencyMS*1e6*float64(len(blocks))
-	tc.AddVirtualNS(transferNS)
-	tc.cluster.metrics.ShuffleBytesRead.Add(bytes)
+	if transferNS > 0 {
+		tc.shuffleWaitNS += transferNS
+	}
+	tc.shuffleBytesRead += bytes
 	return blocks
 }
 
+// commit publishes the attempt's buffered side effects: shuffle output
+// becomes fetchable and metric deltas are folded into the cluster registry.
 func (tc *TaskContext) commit() {
+	m := tc.cluster.metrics
 	for _, w := range tc.pendingShuffle {
 		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.data, w.bytes)
-		tc.cluster.metrics.ShuffleBytesWritten.Add(w.bytes)
-		tc.cluster.metrics.ShuffleRecordsWritten.Add(w.records)
+		m.ShuffleBytesWritten.Add(w.bytes)
+		m.ShuffleRecordsWritten.Add(w.records)
 	}
 	tc.pendingShuffle = nil
+	if tc.records != 0 {
+		m.RecordsProcessed.Add(tc.records)
+	}
+	if tc.comparisons != 0 {
+		m.Comparisons.Add(tc.comparisons)
+	}
+	if tc.shuffleBytesRead != 0 {
+		m.ShuffleBytesRead.Add(tc.shuffleBytesRead)
+	}
+	tc.records, tc.comparisons, tc.shuffleBytesRead = 0, 0, 0
 }
 
+// discard drops the attempt's buffered side effects (failed attempt).
 func (tc *TaskContext) discard() {
 	tc.pendingShuffle = nil
+	tc.records, tc.comparisons, tc.shuffleBytesRead = 0, 0, 0
 }

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	c := New(Config{})
+	if _, err := c.RunStage("quiet", 4, func(tc *TaskContext) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Tracer().Len(); n != 0 {
+		t.Errorf("disabled tracer retained %d events", n)
+	}
+}
+
+func TestTraceStageAndTaskEvents(t *testing.T) {
+	c := New(Config{Executors: 2, Trace: true, FailureRate: 0.4, MaxTaskRetries: 30, Seed: 11})
+	if _, err := c.RunStage("traced", 12, func(tc *TaskContext) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	events := c.Tracer().Snapshot()
+	byKind := map[EventKind]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+		if e.Kind == EventStageStart || e.Kind == EventStageEnd {
+			if e.Stage != "traced" || e.Task != -1 {
+				t.Errorf("stage event malformed: %+v", e)
+			}
+		}
+	}
+	if byKind[EventStageStart] != 1 || byKind[EventStageEnd] != 1 {
+		t.Errorf("stage lifecycle events = %v", byKind)
+	}
+	if byKind[EventTaskSuccess] != 12 {
+		t.Errorf("task_success = %d, want 12", byKind[EventTaskSuccess])
+	}
+	if byKind[EventTaskFailInjected] == 0 {
+		t.Error("expected injected-failure events at rate 0.4")
+	}
+	if byKind[EventTaskStart] != byKind[EventTaskSuccess]+byKind[EventTaskFailInjected] {
+		t.Errorf("task_start %d != success %d + fail %d",
+			byKind[EventTaskStart], byKind[EventTaskSuccess], byKind[EventTaskFailInjected])
+	}
+	// Sequence numbers are strictly increasing, oldest first.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable()
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: EventTaskStart, Task: i})
+	}
+	if tr.Len() != 8 {
+		t.Errorf("Len = %d, want 8", tr.Len())
+	}
+	if tr.Dropped() != 12 {
+		t.Errorf("Dropped = %d, want 12", tr.Dropped())
+	}
+	snap := tr.Snapshot()
+	if snap[0].Task != 12 || snap[len(snap)-1].Task != 19 {
+		t.Errorf("ring kept wrong window: first task %d, last %d", snap[0].Task, snap[len(snap)-1].Task)
+	}
+}
+
+func TestTraceWriteJSONParseable(t *testing.T) {
+	c := New(Config{Trace: true})
+	sh := c.Shuffles().Register()
+	if _, err := c.RunStage("map", 3, func(tc *TaskContext) error {
+		tc.WriteShuffle(sh, 0, []int{tc.Task()}, 1, 64)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Shuffles().MarkDone(sh)
+	if _, err := c.RunStage("reduce", 1, func(tc *TaskContext) error {
+		tc.FetchShuffle(sh, 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Broadcast(1000)
+
+	var buf bytes.Buffer
+	if err := c.Tracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DroppedEvents int64 `json:"droppedEvents"`
+		Events        []struct {
+			Seq   int64  `json:"seq"`
+			Kind  string `json:"kind"`
+			Stage string `json:"stage"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export not parseable: %v\n%s", err, buf.String())
+	}
+	perStage := map[string]int{}
+	sawBroadcast := false
+	for _, e := range doc.Events {
+		if e.Stage != "" {
+			perStage[e.Stage]++
+		}
+		if e.Kind == string(EventBroadcast) {
+			sawBroadcast = true
+		}
+	}
+	if perStage["map"] < 1 || perStage["reduce"] < 1 {
+		t.Errorf("want >= 1 event per stage, got %v", perStage)
+	}
+	if !sawBroadcast {
+		t.Error("broadcast event missing")
+	}
+}
+
+func TestTracerResetKeepsSeqMonotone(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	tr.Emit(Event{Kind: EventBroadcast})
+	first := tr.Snapshot()[0].Seq
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset kept events")
+	}
+	tr.Emit(Event{Kind: EventBroadcast})
+	if s := tr.Snapshot()[0].Seq; s <= first {
+		t.Errorf("seq went backwards after Reset: %d then %d", first, s)
+	}
+}
+
+func TestMetricsCommitOnSuccessOnly(t *testing.T) {
+	// Under heavy fault injection, every failed attempt's counter deltas
+	// must be discarded: the committed totals equal the fault-free run's.
+	run := func(rate float64) MetricsSnapshot {
+		c := New(Config{FailureRate: rate, MaxTaskRetries: 50, Seed: 5})
+		sh := c.Shuffles().Register()
+		if _, err := c.RunStage("map", 10, func(tc *TaskContext) error {
+			tc.AddRecords(7)
+			tc.AddComparisons(3)
+			tc.WriteShuffle(sh, 0, []int{tc.Task()}, 2, 16)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.Shuffles().MarkDone(sh)
+		if _, err := c.RunStage("reduce", 2, func(tc *TaskContext) error {
+			tc.FetchShuffle(sh, 0)
+			tc.AddRecords(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics().Snapshot()
+	}
+	clean := run(0)
+	faulty := run(0.5)
+
+	if clean.TaskFailures != 0 || faulty.TaskFailures == 0 {
+		t.Fatalf("failure setup wrong: clean %d, faulty %d", clean.TaskFailures, faulty.TaskFailures)
+	}
+	if clean.RecordsProcessed != faulty.RecordsProcessed {
+		t.Errorf("RecordsProcessed: clean %d != faulty %d", clean.RecordsProcessed, faulty.RecordsProcessed)
+	}
+	if clean.Comparisons != faulty.Comparisons {
+		t.Errorf("Comparisons: clean %d != faulty %d", clean.Comparisons, faulty.Comparisons)
+	}
+	if clean.ShuffleRecordsWritten != faulty.ShuffleRecordsWritten {
+		t.Errorf("ShuffleRecordsWritten: clean %d != faulty %d",
+			clean.ShuffleRecordsWritten, faulty.ShuffleRecordsWritten)
+	}
+	if clean.ShuffleBytesWritten != faulty.ShuffleBytesWritten {
+		t.Errorf("ShuffleBytesWritten: clean %d != faulty %d",
+			clean.ShuffleBytesWritten, faulty.ShuffleBytesWritten)
+	}
+	if clean.ShuffleBytesRead != faulty.ShuffleBytesRead {
+		t.Errorf("ShuffleBytesRead: clean %d != faulty %d", clean.ShuffleBytesRead, faulty.ShuffleBytesRead)
+	}
+	if faulty.TasksLaunched <= clean.TasksLaunched {
+		t.Errorf("faulty TasksLaunched %d should exceed clean %d (retries)",
+			faulty.TasksLaunched, clean.TasksLaunched)
+	}
+}
+
+func TestFailedStageStillRecorded(t *testing.T) {
+	c := New(Config{FailureRate: 1.0, MaxTaskRetries: 2, Seed: 9, Trace: true})
+	_, err := c.RunStage("doomed", 3, func(tc *TaskContext) error { return nil })
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v, want ErrTaskFailed", err)
+	}
+	m := c.Metrics().Snapshot()
+	if m.StagesRun != 1 {
+		t.Errorf("StagesRun = %d, want 1 (failed stages must be counted)", m.StagesRun)
+	}
+	// 3 tasks x (1 first attempt + 2 retries), all failing.
+	if m.TasksLaunched != 9 || m.TaskFailures != 9 {
+		t.Errorf("TasksLaunched=%d TaskFailures=%d, want 9/9", m.TasksLaunched, m.TaskFailures)
+	}
+	h := c.StageHistory()
+	if len(h) != 1 || h[0].Name != "doomed" {
+		t.Fatalf("failed stage missing from history: %+v", h)
+	}
+	if h[0].Attempts != 9 || h[0].Failures != 9 {
+		t.Errorf("history stats = %+v", h[0])
+	}
+	// The stage_end trace event carries the failure.
+	var end *Event
+	for _, e := range c.Tracer().Snapshot() {
+		if e.Kind == EventStageEnd {
+			ev := e
+			end = &ev
+		}
+	}
+	if end == nil || !strings.Contains(end.Detail, "doomed") {
+		t.Errorf("stage_end event missing failure detail: %+v", end)
+	}
+}
+
+func TestRetryBudgetIsFirstAttemptPlusRetries(t *testing.T) {
+	var invocations atomic.Int64
+	c := New(Config{FailureRate: 1.0, MaxTaskRetries: 3, Seed: 1})
+	_, err := c.RunStage("budget", 1, func(tc *TaskContext) error {
+		invocations.Add(1)
+		return nil
+	})
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := invocations.Load(); got != 4 {
+		t.Errorf("invocations = %d, want 4 (1 first attempt + 3 retries)", got)
+	}
+}
+
+func TestGenuineErrorsRetriedLikeInjectedOnes(t *testing.T) {
+	// A transient genuine error must be retried within the same budget.
+	boom := errors.New("transient")
+	c := New(Config{MaxTaskRetries: 3})
+	stats, err := c.RunStage("flaky-code", 1, func(tc *TaskContext) error {
+		if tc.Attempt() < 2 {
+			return boom
+		}
+		tc.AddRecords(5)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient error not retried to success: %v", err)
+	}
+	if stats.Attempts != 3 || stats.Failures != 2 {
+		t.Errorf("stats = %+v, want 3 attempts / 2 failures", stats)
+	}
+	// Counters from the failed attempts must not have leaked.
+	if got := c.Metrics().RecordsProcessed.Load(); got != 5 {
+		t.Errorf("RecordsProcessed = %d, want 5", got)
+	}
+
+	// A permanent genuine error exhausts the budget and surfaces both
+	// ErrTaskFailed and the underlying cause.
+	c2 := New(Config{MaxTaskRetries: 1})
+	_, err = c2.RunStage("doomed-code", 1, func(tc *TaskContext) error { return boom })
+	if !errors.Is(err, ErrTaskFailed) || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want both ErrTaskFailed and the cause", err)
+	}
+}
+
+func TestStageStatsTaskBreakdown(t *testing.T) {
+	c := New(Config{Executors: 2, CoresPerExecutor: 1, NetworkMBps: 1, ShuffleLatencyMS: 5})
+	sh := c.Shuffles().Register()
+	if _, err := c.RunStage("map", 4, func(tc *TaskContext) error {
+		tc.WriteShuffle(sh, 0, []byte{1}, 1, 1e6)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Shuffles().MarkDone(sh)
+	stats, err := c.RunStage("reduce", 4, func(tc *TaskContext) error {
+		if tc.Task() == 0 {
+			tc.FetchShuffle(sh, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.TaskStats) != 4 {
+		t.Fatalf("TaskStats len = %d", len(stats.TaskStats))
+	}
+	for i, ts := range stats.TaskStats {
+		if ts.Task != i || ts.Attempts != 1 {
+			t.Errorf("TaskStats[%d] = %+v", i, ts)
+		}
+		if ts.Slot < 0 || ts.Slot >= c.SlotCount() {
+			t.Errorf("task %d scheduled on bad slot %d", i, ts.Slot)
+		}
+	}
+	// Only task 0 fetched: 4MB at 1MB/s = 4s of shuffle wait.
+	if stats.TaskStats[0].ShuffleWaitDuration == 0 {
+		t.Error("fetching task has zero shuffle wait")
+	}
+	if stats.TaskStats[1].ShuffleWaitDuration != 0 {
+		t.Error("non-fetching task charged shuffle wait")
+	}
+	if stats.ShuffleWaitDuration != stats.TaskStats[0].ShuffleWaitDuration {
+		t.Errorf("stage shuffle wait %v != task sum %v",
+			stats.ShuffleWaitDuration, stats.TaskStats[0].ShuffleWaitDuration)
+	}
+	if stats.SchedulerOverhead <= 0 && c.cfg.SchedulerOverheadMS > 0 {
+		t.Error("scheduler overhead missing")
+	}
+	// Virtual duration of the fetching task includes its shuffle wait.
+	if stats.TaskStats[0].VirtualDuration < stats.TaskStats[0].ShuffleWaitDuration {
+		t.Errorf("task virtual %v < shuffle wait %v",
+			stats.TaskStats[0].VirtualDuration, stats.TaskStats[0].ShuffleWaitDuration)
+	}
+}
+
+func TestWriteStageSummary(t *testing.T) {
+	c := New(Config{Executors: 2, SchedulerOverheadMS: 1})
+	if _, err := c.RunStage("alpha", 2, func(tc *TaskContext) error {
+		tc.AddVirtualNS(1e6)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteStageSummary(&buf, c.StageHistory())
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("summary missing rows:\n%s", out)
+	}
+}
+
+func TestListScheduleSlotsLPTMapping(t *testing.T) {
+	c := New(Config{Executors: 2, CoresPerExecutor: 1, Scheduling: ScheduleLPT})
+	durations := []float64{10, 100, 10, 10}
+	makespan, slots := c.listScheduleSlots(durations)
+	if makespan != 100 {
+		t.Errorf("makespan = %v, want 100 (LPT isolates the straggler)", makespan)
+	}
+	if len(slots) != 4 {
+		t.Fatalf("slots = %v", slots)
+	}
+	// The long task gets its own slot; the three short ones share the other.
+	long := slots[1]
+	for i, s := range slots {
+		if i == 1 {
+			continue
+		}
+		if s == long {
+			t.Errorf("short task %d shares slot %d with the straggler", i, long)
+		}
+	}
+}

@@ -67,9 +67,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 }
 
 // ResetEngine replaces the virtual cluster (e.g. to sweep executor counts or
-// memory budgets) while keeping the corpus and features.
+// memory budgets) while keeping the corpus and features. The trace event log
+// is carried over so one export spans every engine configuration of a sweep.
 func (e *Env) ResetEngine(cfg cluster.Config) {
+	tracer := e.Ctx.Cluster().Tracer()
 	cl := cluster.New(cfg)
+	cl.SetTracer(tracer)
 	e.Ctx = rdd.NewContext(cl)
 }
 

@@ -1,0 +1,164 @@
+package rdd
+
+import (
+	"fmt"
+	"testing"
+
+	"adrdedup/internal/cluster"
+)
+
+// runCountedPipeline executes a representative shuffle pipeline (map →
+// reduceByKey → counting action) on a fresh cluster with the given failure
+// rate and returns the final metrics snapshot. Everything except the failure
+// rate — data, seed, partitioning — is held fixed.
+func runCountedPipeline(t *testing.T, failureRate float64) cluster.MetricsSnapshot {
+	t.Helper()
+	cl := cluster.New(cluster.Config{
+		Executors:      4,
+		FailureRate:    failureRate,
+		MaxTaskRetries: 50,
+		Seed:           42,
+	})
+	ctx := NewContext(cl)
+
+	data := make([]int, 600)
+	for i := range data {
+		data[i] = i
+	}
+	base := Parallelize(ctx, data, 6).SetName("base")
+	keyed := Map(base, func(v int) Pair[int, int] { return KV(v%7, v) }).SetName("keyed")
+	sums := ReduceByKey(keyed, func(a, b int) int { return a + b }, 4)
+	counts, err := RunJob(sums, "tally", func(tc *cluster.TaskContext, p int, in []Pair[int, int]) (int, error) {
+		tc.AddRecords(int64(len(in)))
+		for range in {
+			tc.AddComparisons(3)
+		}
+		return len(in), nil
+	})
+	if err != nil {
+		t.Fatalf("pipeline at failure rate %v: %v", failureRate, err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("pipeline at failure rate %v produced %d keys, want 7", failureRate, total)
+	}
+	return cl.Metrics().Snapshot()
+}
+
+// TestFaultInjectionCounterInvariance is the acceptance check for
+// attempt-scoped metrics: running the identical job with and without fault
+// injection must yield bit-identical work counters, because failed attempts'
+// deltas are discarded rather than committed. Only the launch/failure
+// counters may differ.
+func TestFaultInjectionCounterInvariance(t *testing.T) {
+	clean := runCountedPipeline(t, 0)
+	faulty := runCountedPipeline(t, 0.3)
+
+	if faulty.TaskFailures == 0 {
+		t.Fatal("failure rate 0.3 injected no failures; test is vacuous")
+	}
+	if faulty.TasksLaunched <= clean.TasksLaunched {
+		t.Errorf("TasksLaunched: faulty %d should exceed clean %d",
+			faulty.TasksLaunched, clean.TasksLaunched)
+	}
+	if clean.TaskFailures != 0 {
+		t.Errorf("clean run reported %d failures", clean.TaskFailures)
+	}
+
+	invariant := []struct {
+		name          string
+		clean, faulty int64
+	}{
+		{"Comparisons", clean.Comparisons, faulty.Comparisons},
+		{"RecordsProcessed", clean.RecordsProcessed, faulty.RecordsProcessed},
+		{"ShuffleRecordsWritten", clean.ShuffleRecordsWritten, faulty.ShuffleRecordsWritten},
+		{"ShuffleBytesWritten", clean.ShuffleBytesWritten, faulty.ShuffleBytesWritten},
+		{"ShuffleBytesRead", clean.ShuffleBytesRead, faulty.ShuffleBytesRead},
+		{"StagesRun", clean.StagesRun, faulty.StagesRun},
+	}
+	for _, c := range invariant {
+		if c.clean != c.faulty {
+			t.Errorf("%s differs under fault injection: clean %d, faulty %d",
+				c.name, c.clean, c.faulty)
+		}
+	}
+	if clean.Comparisons == 0 || clean.ShuffleRecordsWritten == 0 || clean.ShuffleBytesRead == 0 {
+		t.Errorf("pipeline exercised no counters: %+v", clean)
+	}
+}
+
+// TestCachedPartitionsSurviveMutatingMapPartitions is the regression test for
+// the materialize aliasing bug: a downstream MapPartitions that mutates its
+// input slice in place must not corrupt the cached parent partition, because
+// materialize hands out defensive copies of cached blocks.
+func TestCachedPartitionsSurviveMutatingMapPartitions(t *testing.T) {
+	ctx := NewContext(cluster.New(cluster.Config{Executors: 2}))
+
+	parent := Map(Parallelize(ctx, []int{1, 2, 3, 4, 5, 6}, 3),
+		func(v int) int { return v * 10 }).Cache()
+	want, err := parent.Collect() // materializes the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An in-place mutator, as user code might legitimately write: sorting,
+	// zeroing, or overwriting its input buffer.
+	mutated, err := MapPartitions(parent, func(in []int) ([]int, error) {
+		for i := range in {
+			in[i] = -1
+		}
+		return in, nil
+	}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range mutated {
+		if v != -1 {
+			t.Fatalf("mutator did not see its own writes: %v", mutated)
+		}
+	}
+
+	got, err := parent.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cached parent corrupted by downstream mutation:\n got %v\nwant %v", got, want)
+	}
+	if hits := ctx.Cluster().Metrics().BlockHits.Load(); hits == 0 {
+		t.Error("second Collect did not hit the cache; aliasing regression not exercised")
+	}
+}
+
+// TestStageNamesCarryLineageTags checks that RDD jobs tag their stage names
+// with the RDD id, so traces and stage history can be joined back to the
+// lineage graph.
+func TestStageNamesCarryLineageTags(t *testing.T) {
+	cl := cluster.New(cluster.Config{Executors: 2})
+	ctx := NewContext(cl)
+	r := Parallelize(ctx, []int{1, 2, 3}, 2).SetName("nums")
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	h := cl.StageHistory()
+	if len(h) == 0 {
+		t.Fatal("no stage history")
+	}
+	want := fmt.Sprintf("@rdd%d", r.ID())
+	last := h[len(h)-1].Name
+	if !contains(last, want) {
+		t.Errorf("stage name %q missing lineage tag %q", last, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

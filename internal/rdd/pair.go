@@ -90,7 +90,7 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 			if onceErr = r.ensureDeps(); onceErr != nil {
 				return
 			}
-			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d", r.name, shID),
+			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.name, shID, r.id),
 				r.numPartitions, func(tc *cluster.TaskContext) error {
 					in, err := r.materialize(tc, tc.Task())
 					if err != nil {

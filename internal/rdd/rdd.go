@@ -180,6 +180,15 @@ func (r *RDD[T]) ensureDeps() error {
 
 // materialize returns the partition's data, serving it from cache when
 // possible and recomputing from lineage otherwise.
+//
+// Aliasing invariant: for a cached RDD the block store holds the canonical
+// slice, and every materialize call returns a fresh shallow copy of it, so a
+// downstream transformation that reassigns elements of its input (a mutating
+// MapPartitions, say) cannot poison the cache for later readers. The copy is
+// shallow: elements that are themselves pointers/slices must still not be
+// deeply mutated. Uncached RDDs return the computed slice directly; callers
+// must treat it as read-only too, since narrow transformations (Parallelize,
+// Coalesce) may alias upstream storage.
 func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error) {
 	r.mu.Lock()
 	cached := r.cached
@@ -190,7 +199,7 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 
 	id := cluster.BlockID{RDD: r.id, Partition: partition}
 	if v, ok := r.ctx.cl.Blocks().Get(id); ok {
-		return v.([]T), nil
+		return copySlice(v.([]T)), nil
 	}
 	r.mu.Lock()
 	wasCached := r.everCached[partition]
@@ -198,7 +207,13 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 	if wasCached {
 		// The block was stored before and has been evicted: this is a
 		// lineage recomputation.
-		r.ctx.cl.Metrics().BlockRecomputes.Add(1)
+		cl := r.ctx.cl
+		cl.Metrics().BlockRecomputes.Add(1)
+		if cl.Tracer().Enabled() {
+			cl.Tracer().Emit(cluster.Event{Kind: cluster.EventBlockRecompute,
+				Task: tc.Task(), Attempt: tc.Attempt(),
+				Detail: fmt.Sprintf("rdd%d/p%d (%s)", r.id, partition, r.name)})
+		}
 	}
 	data, err := r.compute(tc, partition)
 	if err != nil {
@@ -208,19 +223,34 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 		r.mu.Lock()
 		r.everCached[partition] = true
 		r.mu.Unlock()
+		// The stored slice is now canonical; hand the caller a copy so
+		// its mutations cannot reach the cache.
+		return copySlice(data), nil
 	}
 	return data, nil
 }
 
+// copySlice returns a fresh shallow copy of s (nil stays nil).
+func copySlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
 // RunJob materializes every partition of r and applies fn to each, returning
 // the per-partition results in partition order. It is the primitive all
-// actions are built on.
+// actions are built on. The submitted stage carries a lineage tag
+// ("<name>@rdd<id>") so traces and stage history identify which RDD a stage
+// materialized.
 func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, partition int, data []T) (R, error)) ([]R, error) {
 	if err := r.ensureDeps(); err != nil {
 		return nil, fmt.Errorf("rdd %q: preparing dependencies: %w", r.name, err)
 	}
 	results := make([]R, r.numPartitions)
-	_, err := r.ctx.cl.RunStage(name, r.numPartitions, func(tc *cluster.TaskContext) error {
+	_, err := r.ctx.cl.RunStage(fmt.Sprintf("%s@rdd%d", name, r.id), r.numPartitions, func(tc *cluster.TaskContext) error {
 		data, err := r.materialize(tc, tc.Task())
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -57,7 +58,7 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 				return err
 			}
 		}
-		_, err := ctx.cl.RunStage(r.name+".sortShuffle", keyed.numPartitions,
+		_, err := ctx.cl.RunStage(fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.name, shID, r.id), keyed.numPartitions,
 			func(tc *cluster.TaskContext) error {
 				in, err := keyed.materialize(tc, tc.Task())
 				if err != nil {
