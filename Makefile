@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-json fuzz
 
 # check is the CI gate: vet, build everything, run the full suite with the
 # race detector.
@@ -20,3 +20,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json snapshots the engine micro-benchmarks (fused vs unfused narrow
+# chains, streaming Cartesian) as test2json lines, seeding the perf
+# trajectory across PRs.
+bench-json:
+	$(GO) test -run='^$$' -bench='NarrowChain|CartesianFilter' -benchmem -json ./internal/rdd > BENCH_engine.json
+
+# fuzz runs each native fuzz target briefly (CI smoke; extend -fuzztime for
+# real hunting).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzStem -fuzztime=10s ./internal/text
+	$(GO) test -run='^$$' -fuzz=FuzzHashKey -fuzztime=10s ./internal/rdd

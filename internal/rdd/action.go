@@ -12,7 +12,7 @@ var ErrEmpty = errors.New("rdd: empty dataset")
 
 // Collect materializes the whole dataset on the driver, in partition order.
 func (r *RDD[T]) Collect() ([]T, error) {
-	parts, err := RunJob(r, r.name+".collect", func(_ *cluster.TaskContext, _ int, data []T) ([]T, error) {
+	parts, err := RunJob(r, r.lineageName()+".collect", func(_ *cluster.TaskContext, _ int, data []T) ([]T, error) {
 		return data, nil
 	})
 	if err != nil {
@@ -31,7 +31,7 @@ func (r *RDD[T]) Collect() ([]T, error) {
 
 // Count returns the number of elements.
 func (r *RDD[T]) Count() (int64, error) {
-	parts, err := RunJob(r, r.name+".count", func(_ *cluster.TaskContext, _ int, data []T) (int64, error) {
+	parts, err := RunJob(r, r.lineageName()+".count", func(_ *cluster.TaskContext, _ int, data []T) (int64, error) {
 		return int64(len(data)), nil
 	})
 	if err != nil {
@@ -51,7 +51,7 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 		v  T
 		ok bool
 	}
-	parts, err := RunJob(r, r.name+".reduce", func(_ *cluster.TaskContext, _ int, data []T) (partial, error) {
+	parts, err := RunJob(r, r.lineageName()+".reduce", func(_ *cluster.TaskContext, _ int, data []T) (partial, error) {
 		if len(data) == 0 {
 			return partial{}, nil
 		}
@@ -87,7 +87,7 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 // Aggregate folds every element into an accumulator: seqOp within partitions,
 // combOp across them. zero constructs a fresh accumulator.
 func Aggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
-	parts, err := RunJob(r, r.name+".aggregate", func(_ *cluster.TaskContext, _ int, data []T) (U, error) {
+	parts, err := RunJob(r, r.lineageName()+".aggregate", func(_ *cluster.TaskContext, _ int, data []T) (U, error) {
 		acc := zero()
 		for _, v := range data {
 			acc = seqOp(acc, v)
@@ -135,7 +135,7 @@ func (r *RDD[T]) First() (T, error) {
 // Foreach applies f to every element for its side effects. f runs inside
 // tasks and must be safe for concurrent use and idempotent under task retry.
 func (r *RDD[T]) Foreach(f func(T)) error {
-	_, err := RunJob(r, r.name+".foreach", func(_ *cluster.TaskContext, _ int, data []T) (struct{}, error) {
+	_, err := RunJob(r, r.lineageName()+".foreach", func(_ *cluster.TaskContext, _ int, data []T) (struct{}, error) {
 		for _, v := range data {
 			f(v)
 		}
@@ -146,7 +146,7 @@ func (r *RDD[T]) Foreach(f func(T)) error {
 
 // CountByKey returns a map from key to occurrence count.
 func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
-	parts, err := RunJob(r, r.name+".countByKey", func(_ *cluster.TaskContext, _ int, data []Pair[K, V]) (map[K]int64, error) {
+	parts, err := RunJob(r, r.lineageName()+".countByKey", func(_ *cluster.TaskContext, _ int, data []Pair[K, V]) (map[K]int64, error) {
 		m := make(map[K]int64)
 		for _, kv := range data {
 			m[kv.Key]++
@@ -172,7 +172,7 @@ func TopK[T any](r *RDD[T], n int, less func(a, b T) bool) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	parts, err := RunJob(r, r.name+".topK", func(_ *cluster.TaskContext, _ int, data []T) ([]T, error) {
+	parts, err := RunJob(r, r.lineageName()+".topK", func(_ *cluster.TaskContext, _ int, data []T) ([]T, error) {
 		return BoundedMin(data, n, less), nil
 	})
 	if err != nil {

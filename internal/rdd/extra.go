@@ -41,6 +41,8 @@ func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 			if err != nil {
 				return nil, err
 			}
+			tc.SetWorkingSetBytes(int64(len(left))*sa.bytesPerRecord +
+				int64(len(right))*sb.bytesPerRecord)
 			byKey := make(map[K][]W, len(right))
 			for _, kw := range right {
 				byKey[kw.Key] = append(byKey[kw.Key], kw.Value)
@@ -90,6 +92,8 @@ func SubtractByKey[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 			if err != nil {
 				return nil, err
 			}
+			tc.SetWorkingSetBytes(int64(len(left))*sa.bytesPerRecord +
+				int64(len(right))*sb.bytesPerRecord)
 			drop := make(map[K]struct{}, len(right))
 			for _, kw := range right {
 				drop[kw.Key] = struct{}{}
@@ -108,7 +112,7 @@ func SubtractByKey[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 
 // Lookup returns every value stored under the key (an action).
 func Lookup[K comparable, V any](r *RDD[Pair[K, V]], key K) ([]V, error) {
-	parts, err := RunJob(r, r.name+".lookup", func(_ *cluster.TaskContext, _ int, data []Pair[K, V]) ([]V, error) {
+	parts, err := RunJob(r, r.lineageName()+".lookup", func(_ *cluster.TaskContext, _ int, data []Pair[K, V]) ([]V, error) {
 		var out []V
 		for _, kv := range data {
 			if kv.Key == key {

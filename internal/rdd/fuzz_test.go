@@ -1,0 +1,71 @@
+package rdd
+
+import "testing"
+
+// FuzzHashKey fuzzes the shuffle key hasher across every supported key kind.
+// Invariants, for any input:
+//
+//   - the derived bucket is always in [0, numPartitions);
+//   - hashing is stable: the same key hashes identically across calls;
+//   - every integer width rides the splitmix64 fast path and agrees with
+//     the 64-bit hash of the same numeric value (two's-complement
+//     sign/zero extension), which pins the uint8/uint16 fast-path fix.
+//
+// The committed corpus under testdata/fuzz/FuzzHashKey seeds boundary
+// values (zero, sign bits, width maxima) and string keys.
+func FuzzHashKey(f *testing.F) {
+	f.Add(uint64(0), "", uint16(1))
+	f.Add(uint64(255), "aspirin", uint16(7))
+	f.Add(uint64(1)<<63, "ADR report", uint16(64))
+	f.Add(^uint64(0), "dizziness", uint16(1024))
+	f.Fuzz(func(t *testing.T, x uint64, s string, np uint16) {
+		numPartitions := int(np%1024) + 1
+		keys := []any{
+			int(x), int8(x), int16(x), int32(x), int64(x),
+			uint(x), uint8(x), uint16(x), uint32(x), x,
+			s, x%2 == 0,
+		}
+		for _, k := range keys {
+			h := hashKey(k)
+			if again := hashKey(k); again != h {
+				t.Errorf("hashKey(%T %v) unstable: %d then %d", k, k, h, again)
+			}
+			bucket := int(h % uint64(numPartitions))
+			if bucket < 0 || bucket >= numPartitions {
+				t.Errorf("hashKey(%T %v) bucket %d outside [0,%d)", k, k, bucket, numPartitions)
+			}
+		}
+		// Width agreement: a narrow integer key must hash like the int64 /
+		// uint64 carrying the same numeric value.
+		signed := []struct {
+			name string
+			got  uint64
+			wide int64
+		}{
+			{"int8", hashKey(int8(x)), int64(int8(x))},
+			{"int16", hashKey(int16(x)), int64(int16(x))},
+			{"int32", hashKey(int32(x)), int64(int32(x))},
+			{"int", hashKey(int(x)), int64(int(x))},
+		}
+		for _, c := range signed {
+			if want := hashKey(c.wide); c.got != want {
+				t.Errorf("hashKey(%s %d) = %d, want int64-consistent %d", c.name, c.wide, c.got, want)
+			}
+		}
+		unsigned := []struct {
+			name string
+			got  uint64
+			wide uint64
+		}{
+			{"uint8", hashKey(uint8(x)), uint64(uint8(x))},
+			{"uint16", hashKey(uint16(x)), uint64(uint16(x))},
+			{"uint32", hashKey(uint32(x)), uint64(uint32(x))},
+			{"uint", hashKey(uint(x)), uint64(uint(x))},
+		}
+		for _, c := range unsigned {
+			if want := hashKey(c.wide); c.got != want {
+				t.Errorf("hashKey(%s %d) = %d, want uint64-consistent %d", c.name, c.wide, c.got, want)
+			}
+		}
+	})
+}

@@ -40,6 +40,10 @@ func hashKey(k any) uint64 {
 		return splitmix64(uint64(v))
 	case uint:
 		return splitmix64(uint64(v))
+	case uint8:
+		return splitmix64(uint64(v))
+	case uint16:
+		return splitmix64(uint64(v))
 	case uint32:
 		return splitmix64(uint64(v))
 	case uint64:
@@ -90,18 +94,24 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 			if onceErr = r.ensureDeps(); onceErr != nil {
 				return
 			}
-			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.name, shID, r.id),
+			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.lineageName(), shID, r.id),
 				r.numPartitions, func(tc *cluster.TaskContext) error {
-					in, err := r.materialize(tc, tc.Task())
+					// Stream the parent's fused narrow chain straight into
+					// the shuffle buckets; no intermediate slice. Records
+					// are charged here, at the shuffle boundary, exactly as
+					// when the input was materialized first.
+					buckets := make([][]Pair[K, V], numPartitions)
+					var records int64
+					err := r.streamInto(tc, tc.Task(), nil, func(kv Pair[K, V]) error {
+						records++
+						b := int(hashKey(kv.Key) % uint64(numPartitions))
+						buckets[b] = append(buckets[b], kv)
+						return nil
+					})
 					if err != nil {
 						return err
 					}
-					tc.AddRecords(int64(len(in)))
-					buckets := make([][]Pair[K, V], numPartitions)
-					for _, kv := range in {
-						b := int(hashKey(kv.Key) % uint64(numPartitions))
-						buckets[b] = append(buckets[b], kv)
-					}
+					tc.AddRecords(records)
 					for b, bucket := range buckets {
 						if len(bucket) == 0 {
 							continue
@@ -332,20 +342,21 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], num
 }
 
 // MapValues transforms only the value of each pair, preserving partitioning.
+// Like Map, it is a narrow operator and fuses.
 func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], f func(V) W) *RDD[Pair[K, W]] {
-	out := Map(r, func(kv Pair[K, V]) Pair[K, W] {
+	out := mapLabeled(r, "mapValues", func(kv Pair[K, V]) Pair[K, W] {
 		return Pair[K, W]{Key: kv.Key, Value: f(kv.Value)}
 	})
 	out.hashPartitioned = r.hashPartitioned
 	return out
 }
 
-// Keys projects a keyed RDD to its keys.
+// Keys projects a keyed RDD to its keys (narrow, fuses).
 func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
-	return Map(r, func(kv Pair[K, V]) K { return kv.Key })
+	return mapLabeled(r, "keys", func(kv Pair[K, V]) K { return kv.Key })
 }
 
-// Values projects a keyed RDD to its values.
+// Values projects a keyed RDD to its values (narrow, fuses).
 func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
-	return Map(r, func(kv Pair[K, V]) V { return kv.Value })
+	return mapLabeled(r, "values", func(kv Pair[K, V]) V { return kv.Value })
 }

@@ -328,3 +328,39 @@ func TestHashKeyDistribution(t *testing.T) {
 		t.Error("bool hash collision")
 	}
 }
+
+// TestHashKeyIntegerFastPath pins every integer width to the splitmix64
+// fast path: the hash must equal splitmix64 of the two's-complement
+// sign/zero extension of the key. uint8 and uint16 used to fall through to
+// the fmt.Fprintf fallback, hashing differently from (and ~50x slower than)
+// the other widths.
+func TestHashKeyIntegerFastPath(t *testing.T) {
+	neg := int64(-5)
+	cases := []struct {
+		name string
+		key  any
+		want uint64
+	}{
+		{"int", int(-5), splitmix64(uint64(neg))},
+		{"int8", int8(-5), splitmix64(uint64(neg))},
+		{"int16", int16(-5), splitmix64(uint64(neg))},
+		{"int32", int32(-5), splitmix64(uint64(neg))},
+		{"int64", int64(-5), splitmix64(uint64(neg))},
+		{"uint", uint(200), splitmix64(200)},
+		{"uint8", uint8(200), splitmix64(200)},
+		{"uint16", uint16(60000), splitmix64(60000)},
+		{"uint32", uint32(60000), splitmix64(60000)},
+		{"uint64", uint64(60000), splitmix64(60000)},
+	}
+	for _, c := range cases {
+		if got := hashKey(c.key); got != c.want {
+			t.Errorf("hashKey(%s %v) = %d, want fast-path splitmix64 value %d",
+				c.name, c.key, got, c.want)
+		}
+	}
+	// Same numeric value, different width: buckets must agree, so keyed
+	// data partitioned under a uint8 key co-partitions with int keys.
+	if hashKey(uint8(42)) != hashKey(int(42)) || hashKey(uint16(42)) != hashKey(int64(42)) {
+		t.Error("narrow unsigned widths hash differently from wide integers")
+	}
+}

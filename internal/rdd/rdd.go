@@ -56,6 +56,18 @@ type RDD[T any] struct {
 	numPartitions int
 	compute       func(tc *cluster.TaskContext, partition int) ([]T, error)
 
+	// stream, when non-nil, is the element-wise streaming description of
+	// this RDD used for fused narrow-stage execution (see fuse.go).
+	// compute and stream produce identical partitions; stream avoids
+	// materializing the chain's intermediates.
+	stream streamFn[T]
+
+	// chain computes the fused lineage label ("base.map+filter") for stage
+	// names; nil for non-narrow RDDs. nameOverride records that SetName
+	// replaced the derived name, which then also wins over chain.
+	chain        func() string
+	nameOverride bool
+
 	// prepare holds idempotent closures that must run (driver-side)
 	// before any job over this RDD: one per upstream shuffle map stage.
 	prepare []func() error
@@ -124,9 +136,11 @@ func (r *RDD[T]) ID() int { return r.id }
 // NumPartitions returns the partition count.
 func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
 
-// SetName sets the debug name and returns the RDD for chaining.
+// SetName sets the debug name and returns the RDD for chaining. The name
+// also replaces the derived fused-chain label in stage names.
 func (r *RDD[T]) SetName(name string) *RDD[T] {
 	r.name = name
+	r.nameOverride = true
 	return r
 }
 
@@ -244,7 +258,8 @@ func copySlice[T any](s []T) []T {
 // the per-partition results in partition order. It is the primitive all
 // actions are built on. The submitted stage carries a lineage tag
 // ("<name>@rdd<id>") so traces and stage history identify which RDD a stage
-// materialized.
+// materialized; for fused narrow chains the name joins the fused operators
+// with "+" up to the nearest boundary (e.g. "reports.map+filter@rdd7").
 func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, partition int, data []T) (R, error)) ([]R, error) {
 	if err := r.ensureDeps(); err != nil {
 		return nil, fmt.Errorf("rdd %q: preparing dependencies: %w", r.name, err)

@@ -58,15 +58,17 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 				return err
 			}
 		}
-		_, err := ctx.cl.RunStage(fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.name, shID, r.id), keyed.numPartitions,
+		_, err := ctx.cl.RunStage(fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.lineageName(), shID, r.id), keyed.numPartitions,
 			func(tc *cluster.TaskContext) error {
-				in, err := keyed.materialize(tc, tc.Task())
+				// Stream the range-keying chain straight into the shuffle
+				// buckets (no intermediate keyed slice).
+				buckets := make([][]T, parts)
+				err := keyed.streamInto(tc, tc.Task(), nil, func(kv Pair[int, T]) error {
+					buckets[kv.Key] = append(buckets[kv.Key], kv.Value)
+					return nil
+				})
 				if err != nil {
 					return err
-				}
-				buckets := make([][]T, parts)
-				for _, kv := range in {
-					buckets[kv.Key] = append(buckets[kv.Key], kv.Value)
 				}
 				for b, bucket := range buckets {
 					if len(bucket) == 0 {

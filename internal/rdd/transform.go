@@ -7,54 +7,60 @@ import (
 	"adrdedup/internal/cluster"
 )
 
-// Map applies f to every element.
+// Map applies f to every element. Map is a narrow operator: it fuses with
+// adjacent narrow operators into a single streaming pass (see fuse.go).
 func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
-	return newRDD(r.ctx, r.name+".map", r.numPartitions,
-		func(tc *cluster.TaskContext, p int) ([]U, error) {
-			in, err := r.materialize(tc, p)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]U, len(in))
-			for i, v := range in {
-				out[i] = f(v)
-			}
-			return out, nil
-		}, r.prepare)
+	return mapLabeled(r, "map", f)
 }
 
-// Filter keeps the elements for which pred is true.
+// mapLabeled is Map with an explicit operator label for fused stage names
+// (MapValues, Keys, and Values reuse it under their own labels).
+func mapLabeled[T, U any](r *RDD[T], op string, f func(T) U) *RDD[U] {
+	return newNarrow(r, op, func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(U) error) error {
+		return r.streamInto(tc, p, sizeHint, func(v T) error {
+			return emit(f(v))
+		})
+	})
+}
+
+// Filter keeps the elements for which pred is true. Filter is a narrow
+// operator and fuses; the parent's size hint is forwarded as an upper bound.
 func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
-	return newRDD(r.ctx, r.name+".filter", r.numPartitions,
-		func(tc *cluster.TaskContext, p int) ([]T, error) {
-			in, err := r.materialize(tc, p)
-			if err != nil {
-				return nil, err
+	return newNarrow(r, "filter", func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(T) error) error {
+		return r.streamInto(tc, p, sizeHint, func(v T) error {
+			if pred(v) {
+				return emit(v)
 			}
-			out := make([]T, 0, len(in))
-			for _, v := range in {
-				if pred(v) {
-					out = append(out, v)
+			return nil
+		})
+	})
+}
+
+// FlatMap applies f to every element and concatenates the results. FlatMap
+// is a narrow operator and fuses; the parent's size hint is forwarded as a
+// guess (output may grow past it).
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newNarrow(r, "flatMap", func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(U) error) error {
+		return r.streamInto(tc, p, sizeHint, func(v T) error {
+			for _, u := range f(v) {
+				if err := emit(u); err != nil {
+					return err
 				}
 			}
-			return out, nil
-		}, r.prepare)
+			return nil
+		})
+	})
 }
 
-// FlatMap applies f to every element and concatenates the results.
-func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
-	return newRDD(r.ctx, r.name+".flatMap", r.numPartitions,
-		func(tc *cluster.TaskContext, p int) ([]U, error) {
-			in, err := r.materialize(tc, p)
-			if err != nil {
-				return nil, err
-			}
-			var out []U
-			for _, v := range in {
-				out = append(out, f(v)...)
-			}
-			return out, nil
-		}, r.prepare)
+// MapElementsWithIndex applies f to every element along with its partition
+// index. It is the element-wise special case of MapPartitionsWithIndex and,
+// unlike it, fuses with adjacent narrow operators.
+func MapElementsWithIndex[T, U any](r *RDD[T], f func(partition int, v T) U) *RDD[U] {
+	return newNarrow(r, "mapIdx", func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(U) error) error {
+		return r.streamInto(tc, p, sizeHint, func(v T) error {
+			return emit(f(p, v))
+		})
+	})
 }
 
 // MapPartitions applies f to each whole partition.
@@ -63,7 +69,9 @@ func MapPartitions[T, U any](r *RDD[T], f func(in []T) ([]U, error)) *RDD[U] {
 }
 
 // MapPartitionsWithIndex applies f to each whole partition along with the
-// partition index.
+// partition index. Because f is an opaque whole-partition function, this is
+// a fusion boundary: the parent is materialized as a slice. Element-wise
+// callers should prefer MapElementsWithIndex, which fuses.
 func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) ([]U, error)) *RDD[U] {
 	return newRDD(r.ctx, r.name+".mapPartitions", r.numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]U, error) {
@@ -76,6 +84,7 @@ func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) (
 }
 
 // Union concatenates two RDDs; the result has the sum of their partitions.
+// Union is a fusion boundary (multi-parent).
 func Union[T any](a, b *RDD[T]) *RDD[T] {
 	if a.ctx != b.ctx {
 		panic("rdd: Union across contexts")
@@ -92,57 +101,69 @@ func Union[T any](a, b *RDD[T]) *RDD[T] {
 }
 
 // Cartesian pairs every element of a with every element of b. The result has
-// a.NumPartitions x b.NumPartitions partitions.
+// a.NumPartitions x b.NumPartitions partitions. Cartesian is a fusion
+// boundary for its parents (both are materialized as slices), but it streams
+// its pairs element-by-element into the fused downstream chain, so a
+// Cartesian followed by narrow operators never materializes the full cross
+// product.
 func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
 	if a.ctx != b.ctx {
 		panic("rdd: Cartesian across contexts")
 	}
 	prepare := append(append([]func() error{}, a.prepare...), b.prepare...)
 	nb := b.numPartitions
-	return newRDD(a.ctx, fmt.Sprintf("cartesian(%s,%s)", a.name, b.name),
-		a.numPartitions*nb,
-		func(tc *cluster.TaskContext, p int) ([]Tuple2[T, U], error) {
-			pa, pb := p/nb, p%nb
-			left, err := a.materialize(tc, pa)
-			if err != nil {
-				return nil, err
-			}
-			right, err := b.materialize(tc, pb)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]Tuple2[T, U], 0, len(left)*len(right))
-			for _, x := range left {
-				for _, y := range right {
-					out = append(out, Tuple2[T, U]{x, y})
+	stream := func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(Tuple2[T, U]) error) error {
+		pa, pb := p/nb, p%nb
+		left, err := a.materialize(tc, pa)
+		if err != nil {
+			return err
+		}
+		right, err := b.materialize(tc, pb)
+		if err != nil {
+			return err
+		}
+		if sizeHint != nil {
+			sizeHint(len(left) * len(right))
+		}
+		for _, x := range left {
+			for _, y := range right {
+				if err := emit(Tuple2[T, U]{x, y}); err != nil {
+					return err
 				}
 			}
-			return out, nil
-		}, prepare)
+		}
+		return nil
+	}
+	out := newRDD(a.ctx, fmt.Sprintf("cartesian(%s,%s)", a.name, b.name),
+		a.numPartitions*nb, collectStream(stream), prepare)
+	out.stream = stream
+	return out
 }
 
 // Sample returns a Bernoulli sample of r with the given fraction,
-// deterministic for a given seed.
+// deterministic for a given seed. Sample is a narrow operator and fuses:
+// the per-partition RNG consumes one draw per input element in order, so
+// fused and unfused execution select identical elements.
 func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
-	return newRDD(r.ctx, r.name+".sample", r.numPartitions,
-		func(tc *cluster.TaskContext, p int) ([]T, error) {
-			in, err := r.materialize(tc, p)
-			if err != nil {
-				return nil, err
+	return newNarrow(r, "sample", func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(T) error) error {
+		rng := rand.New(rand.NewSource(seed + int64(p)*7919))
+		scaled := func(n int) {
+			if sizeHint != nil {
+				sizeHint(int(float64(n)*fraction) + 1)
 			}
-			rng := rand.New(rand.NewSource(seed + int64(p)*7919))
-			out := make([]T, 0, int(float64(len(in))*fraction)+1)
-			for _, v := range in {
-				if rng.Float64() < fraction {
-					out = append(out, v)
-				}
+		}
+		return r.streamInto(tc, p, scaled, func(v T) error {
+			if rng.Float64() < fraction {
+				return emit(v)
 			}
-			return out, nil
-		}, r.prepare)
+			return nil
+		})
+	})
 }
 
 // Coalesce reduces the partition count without a shuffle by concatenating
-// ranges of parent partitions.
+// ranges of parent partitions. Coalesce is a fusion boundary (it reshapes
+// partitioning).
 func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
 	if numPartitions >= r.numPartitions || numPartitions < 1 {
 		return r

@@ -16,11 +16,16 @@ func Stem(word string) string {
 	}
 	s := &stemmer{b: []byte(word), k: len(word) - 1}
 	s.step1ab()
-	s.step1c()
-	s.step2()
-	s.step3()
-	s.step4()
-	s.step5()
+	// step1ab can strip the word down to a single letter (e.g. "aed" →
+	// "a"); the remaining steps all inspect b[k-1] and require at least
+	// two letters, so stop here — found by FuzzStem.
+	if s.k > 0 {
+		s.step1c()
+		s.step2()
+		s.step3()
+		s.step4()
+		s.step5()
+	}
 	return string(s.b[:s.k+1])
 }
 
