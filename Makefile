@@ -22,13 +22,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-json snapshots the engine micro-benchmarks (fused vs unfused narrow
-# chains, streaming Cartesian) as test2json lines, seeding the perf
-# trajectory across PRs.
+# chains, streaming Cartesian, pre-sized Join) and the pairwise-distance
+# kernel (legacy string-set vs interned merge-scan) as test2json lines,
+# seeding the perf trajectory across PRs.
 bench-json:
-	$(GO) test -run='^$$' -bench='NarrowChain|CartesianFilter' -benchmem -json ./internal/rdd > BENCH_engine.json
+	$(GO) test -run='^$$' -bench='NarrowChain|CartesianFilter|JoinPartition' -benchmem -json ./internal/rdd > BENCH_engine.json
+	$(GO) test -run='^$$' -bench='PairKernel|Extract' -benchmem -json ./internal/pairdist > BENCH_pairdist.json
 
 # fuzz runs each native fuzz target briefly (CI smoke; extend -fuzztime for
 # real hunting).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzStem -fuzztime=10s ./internal/text
 	$(GO) test -run='^$$' -fuzz=FuzzHashKey -fuzztime=10s ./internal/rdd
+	$(GO) test -run='^$$' -fuzz=FuzzIntern -fuzztime=10s ./internal/intern

@@ -33,6 +33,7 @@ import (
 	"adrdedup/internal/adr"
 	"adrdedup/internal/cluster"
 	"adrdedup/internal/core"
+	"adrdedup/internal/intern"
 	"adrdedup/internal/pairdist"
 	"adrdedup/internal/rdd"
 )
@@ -68,6 +69,14 @@ type Detector struct {
 	ctx *rdd.Context
 	db  *adr.Database
 
+	// interner assigns token IDs shared by every feature this detector
+	// extracts, across batches, so all features stay mutually comparable
+	// by the merge-scan Jaccard kernel.
+	interner *intern.Interner
+	// disableInterning forces the legacy string-set kernel (and string
+	// blocking); it exists so differential tests can run the whole
+	// pipeline against the pre-interning oracle.
+	disableInterning bool
 	// feats[i] is the preprocessed form of the report with ArrivalSeq i.
 	feats []pairdist.Features
 
@@ -101,10 +110,11 @@ func New(opts Options) (*Detector, error) {
 	}
 	cl := cluster.New(opts.Cluster)
 	return &Detector{
-		opts: opts,
-		cl:   cl,
-		ctx:  rdd.NewContext(cl),
-		db:   adr.NewDatabase(),
+		opts:     opts,
+		cl:       cl,
+		ctx:      rdd.NewContext(cl),
+		db:       adr.NewDatabase(),
+		interner: intern.New(),
 	}, nil
 }
 
@@ -159,7 +169,13 @@ func (d *Detector) extendFeatures() error {
 	if parts <= 0 {
 		parts = d.ctx.DefaultParallelism()
 	}
-	feats, err := pairdist.ExtractAll(d.ctx, fresh, parts)
+	var feats []pairdist.Features
+	var err error
+	if d.disableInterning {
+		feats, err = pairdist.ExtractAll(d.ctx, fresh, parts)
+	} else {
+		feats, err = pairdist.ExtractAllWith(d.ctx, d.interner, fresh, parts)
+	}
 	if err != nil {
 		return fmt.Errorf("adrdedup: extracting features: %w", err)
 	}
@@ -329,25 +345,26 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, erro
 
 // blockedCandidates generates the Eq. 3 candidate set under blocking: a new
 // report is paired only with earlier reports that share a drug or reaction
-// term. Features are already extracted, so the inverted index comes from
-// their term sets.
+// term. The inverted index is keyed by interned token IDs (drug and ADR
+// vocabularies tagged apart in the high bits), so building it does no
+// string hashing or key concatenation.
 func (d *Detector) blockedCandidates(existing, total int) []pairdist.IDPair {
-	byTerm := make(map[string][]int)
-	key := func(kind, term string) string { return kind + "\x00" + term }
+	const adrKind = uint64(1) << 32
+	byTerm := make(map[uint64][]int)
 	for i := 0; i < total; i++ {
-		for _, t := range d.feats[i].DrugSet {
-			byTerm[key("d", t)] = append(byTerm[key("d", t)], i)
+		for _, t := range d.feats[i].DrugIDs {
+			byTerm[uint64(t)] = append(byTerm[uint64(t)], i)
 		}
-		for _, t := range d.feats[i].ADRSet {
-			byTerm[key("a", t)] = append(byTerm[key("a", t)], i)
+		for _, t := range d.feats[i].ADRIDs {
+			byTerm[adrKind|uint64(t)] = append(byTerm[adrKind|uint64(t)], i)
 		}
 	}
 	seen := make(map[[2]int]bool)
 	var ids []pairdist.IDPair
 	for b := existing; b < total; b++ {
-		consider := func(terms []string, kind string) {
+		consider := func(terms []uint32, kind uint64) {
 			for _, t := range terms {
-				for _, a := range byTerm[key(kind, t)] {
+				for _, a := range byTerm[kind|uint64(t)] {
 					if a >= b {
 						continue
 					}
@@ -360,8 +377,8 @@ func (d *Detector) blockedCandidates(existing, total int) []pairdist.IDPair {
 				}
 			}
 		}
-		consider(d.feats[b].DrugSet, "d")
-		consider(d.feats[b].ADRSet, "a")
+		consider(d.feats[b].DrugIDs, 0)
+		consider(d.feats[b].ADRIDs, adrKind)
 	}
 	return ids
 }

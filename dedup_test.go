@@ -461,6 +461,111 @@ func TestDetectUnderFaultInjectionMatchesCleanRun(t *testing.T) {
 	}
 }
 
+// TestDetectMatchesLegacyKernelBitExact runs the full pipeline twice over
+// the same corpus — once on the interned merge-scan kernel, once with
+// interning disabled so every distance goes through the legacy string-set
+// kernel — and requires the Detect output to be identical, scores compared
+// bit-exactly. This is the end-to-end guarantee on top of the per-pair
+// differential tests in internal/pairdist.
+func TestDetectMatchesLegacyKernelBitExact(t *testing.T) {
+	run := func(legacy bool) []Match {
+		c, det, batch := testCorpus(t, 20)
+		det.disableInterning = legacy
+		if legacy {
+			// testCorpus already featurized the database through the
+			// interned path; rebuild everything through the oracle.
+			det.feats = det.feats[:0]
+			if err := det.extendFeatures(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range det.feats {
+			if det.feats[i].Interned == legacy {
+				t.Fatalf("feature %d: Interned=%v in legacy=%v run", i, det.feats[i].Interned, legacy)
+			}
+		}
+		trainOnGroundTruth(t, c, det, 2000)
+		matches, err := det.DetectAll(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Detect sorts by descending score with an unstable sort; order
+		// ties deterministically by case pair before comparing.
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].CaseA != matches[j].CaseA {
+				return matches[i].CaseA < matches[j].CaseA
+			}
+			return matches[i].CaseB < matches[j].CaseB
+		})
+		return matches
+	}
+	interned := run(false)
+	oracle := run(true)
+	if len(interned) != len(oracle) {
+		t.Fatalf("match counts differ: interned %d vs legacy %d", len(interned), len(oracle))
+	}
+	for i := range interned {
+		if interned[i] != oracle[i] {
+			t.Fatalf("match %d differs: interned %+v vs legacy %+v", i, interned[i], oracle[i])
+		}
+	}
+	if len(Duplicates(interned)) == 0 {
+		t.Fatal("differential run found no duplicates; test would be vacuous")
+	}
+}
+
+// TestBlockedCandidatesMatchStringIndexReference pins the interned-ID
+// inverted index in blockedCandidates to a straightforward string-keyed
+// reference over the same features: identical candidate pair sets.
+func TestBlockedCandidatesMatchStringIndexReference(t *testing.T) {
+	c, det, batch := testCorpus(t, 20)
+	_ = c
+	if err := det.db.Add(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.extendFeatures(); err != nil {
+		t.Fatal(err)
+	}
+	existing := det.db.Len() - len(batch)
+	total := det.db.Len()
+	got := det.blockedCandidates(existing, total)
+
+	byTerm := make(map[string][]int)
+	for i := 0; i < total; i++ {
+		for _, s := range det.feats[i].DrugSet {
+			byTerm["drug\x00"+s] = append(byTerm["drug\x00"+s], i)
+		}
+		for _, s := range det.feats[i].ADRSet {
+			byTerm["adr\x00"+s] = append(byTerm["adr\x00"+s], i)
+		}
+	}
+	want := make(map[[2]int]bool)
+	for b := existing; b < total; b++ {
+		for kind, terms := range map[string][]string{
+			"drug\x00": det.feats[b].DrugSet, "adr\x00": det.feats[b].ADRSet,
+		} {
+			for _, s := range terms {
+				for _, a := range byTerm[kind+s] {
+					if a < b {
+						want[[2]int{a, b}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("blocked candidates: %d pairs, reference %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if !want[[2]int{p.A, p.B}] {
+			t.Errorf("pair (%d,%d) not in string-indexed reference", p.A, p.B)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no blocked candidates; test would be vacuous")
+	}
+}
+
 func TestMetricsExposed(t *testing.T) {
 	c, det, _ := testCorpus(t, 10)
 	_ = c

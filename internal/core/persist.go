@@ -89,18 +89,13 @@ func Load(ctx *rdd.Context, r io.Reader) (*Classifier, error) {
 		pruneCenters: mf.PruneCenters,
 		pruneRadii:   mf.PruneRadii,
 	}
-	for _, p := range mf.Positives {
-		c.positives = append(c.positives, ipair(p))
-	}
+	c.positives = arenaPairs(mf.Positives, mf.Dim)
 	b := len(mf.NegBlocks)
 	c.negSizes = make([]int, b)
 	blocks := make([]rdd.Pair[int, []ipair], 0, b)
 	negByCluster := make([][]ipair, b)
 	for cl, saved := range mf.NegBlocks {
-		block := make([]ipair, len(saved))
-		for i, p := range saved {
-			block[i] = ipair(p)
-		}
+		block := arenaPairs(saved, mf.Dim)
 		c.negSizes[cl] = len(block)
 		c.totalNeg += len(block)
 		negByCluster[cl] = block
@@ -120,4 +115,23 @@ func Load(ctx *rdd.Context, r io.Reader) (*Classifier, error) {
 	ctx.Cluster().Broadcast(int64(len(c.centers)) * int64(8*mf.Dim))
 	ctx.Cluster().Broadcast(int64(len(c.positives)) * int64(8*mf.Dim+8))
 	return c, nil
+}
+
+// arenaPairs rebuilds a block of training pairs with every vector copied
+// into one flat arena — one allocation per block instead of one per vector,
+// and contiguous memory for the distance scans. Vectors whose saved width
+// does not match dim (possible only in a hand-corrupted file) keep their
+// decoded slice rather than corrupting the arena layout.
+func arenaPairs(saved []savedPair, dim int) []ipair {
+	block := make([]ipair, len(saved))
+	arena := make([]float64, dim*len(saved))
+	for i, p := range saved {
+		block[i] = ipair(p)
+		if len(p.Vec) == dim {
+			v := arena[i*dim : (i+1)*dim : (i+1)*dim]
+			copy(v, p.Vec)
+			block[i].Vec = v
+		}
+	}
+	return block
 }

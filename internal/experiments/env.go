@@ -17,6 +17,7 @@ import (
 	"adrdedup/internal/adrgen"
 	"adrdedup/internal/cluster"
 	"adrdedup/internal/core"
+	"adrdedup/internal/intern"
 	"adrdedup/internal/pairdist"
 	"adrdedup/internal/rdd"
 )
@@ -25,7 +26,11 @@ import (
 type Env struct {
 	Corpus *adrgen.Corpus
 	Ctx    *rdd.Context
-	Feats  []pairdist.Features
+	// Interner holds the token IDs behind Feats; every feature of the
+	// environment shares it, so pair vectorization runs on the merge-scan
+	// Jaccard kernel.
+	Interner *intern.Interner
+	Feats    []pairdist.Features
 
 	// TrainDups and TestDups are the ground-truth duplicate split used to
 	// build labelled training sets and evaluated test sets.
@@ -52,7 +57,8 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	corpus := adrgen.Generate(cfg.Corpus)
 	cl := cluster.New(cfg.Cluster)
 	ctx := rdd.NewContext(cl)
-	feats, err := pairdist.ExtractAll(ctx, corpus.Reports, ctx.DefaultParallelism())
+	it := intern.New()
+	feats, err := pairdist.ExtractAllWith(ctx, it, corpus.Reports, ctx.DefaultParallelism())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: extracting features: %w", err)
 	}
@@ -60,6 +66,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	return &Env{
 		Corpus:    corpus,
 		Ctx:       ctx,
+		Interner:  it,
 		Feats:     feats,
 		TrainDups: trainDups,
 		TestDups:  testDups,

@@ -177,11 +177,15 @@ func TestFig9ShapeSublinearGrowth(t *testing.T) {
 
 func TestFig10ShapeExecutorScaling(t *testing.T) {
 	env := testEnv(t)
+	// DistancePairs must be large enough that the distance stage stays
+	// compute-dominated: the interned merge-scan kernel cut per-pair cost
+	// by an order of magnitude, so at the old 20k pairs the fixed per-stage
+	// scheduler overhead swamped the speedup 16 executors buy.
 	points, err := Fig10(env, Fig10Params{
 		Executors:     []int{2, 16},
 		TrainSizes:    []int{60_000},
 		TestSize:      4_000,
-		DistancePairs: 20_000,
+		DistancePairs: 60_000,
 		Seed:          8,
 	})
 	if err != nil {

@@ -1,0 +1,67 @@
+package intern
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIntern fuzzes the interner with arbitrary byte input split into
+// tokens. Invariants, for any input:
+//
+//   - intern → resolve round-trips every token exactly;
+//   - interning is stable: the same token yields the same ID across calls;
+//   - IDs are dense: every ID below Len resolves;
+//   - SortedSet output is strictly increasing (sorted and deduplicated)
+//     and its resolved tokens equal the distinct input tokens.
+//
+// The committed corpus under testdata/fuzz/FuzzIntern seeds empty input,
+// repeated tokens, and multi-byte unicode tokens.
+func FuzzIntern(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("aspirin headache aspirin"))
+	f.Add([]byte("头痛 nausea 头痛 ñ"))
+	f.Add([]byte("a b c d e f g a b c"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tokens := []string{}
+		for _, w := range bytes.Fields(data) {
+			tokens = append(tokens, string(w))
+		}
+		it := New()
+		ids := make(map[string]uint32)
+		for _, tok := range tokens {
+			id := it.Intern(tok)
+			if prev, ok := ids[tok]; ok && prev != id {
+				t.Fatalf("Intern(%q) unstable: %d then %d", tok, prev, id)
+			}
+			ids[tok] = id
+			got, ok := it.Resolve(id)
+			if !ok || got != tok {
+				t.Fatalf("Resolve(Intern(%q)) = %q, %v", tok, got, ok)
+			}
+		}
+		if it.Len() != len(ids) {
+			t.Fatalf("Len = %d, want %d distinct tokens", it.Len(), len(ids))
+		}
+		for id := uint32(0); int(id) < it.Len(); id++ {
+			if _, ok := it.Resolve(id); !ok {
+				t.Fatalf("dense ID %d does not resolve", id)
+			}
+		}
+		set := it.SortedSet(tokens)
+		if len(set) != len(ids) {
+			t.Fatalf("SortedSet has %d ids, want %d", len(set), len(ids))
+		}
+		for i, id := range set {
+			if i > 0 && set[i-1] >= id {
+				t.Fatalf("SortedSet not strictly increasing at %d: %v", i, set)
+			}
+			tok, ok := it.Resolve(id)
+			if !ok {
+				t.Fatalf("set id %d does not resolve", id)
+			}
+			if _, seen := ids[tok]; !seen {
+				t.Fatalf("set id %d resolves to %q, not an input token", id, tok)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Package intern maps string tokens to dense uint32 IDs so the pairwise
+// distance kernel can compare token sets by merge-scanning sorted ID slices
+// instead of building hash sets per comparison (the hot path of the paper's
+// pairwise distance computing module, Figure 1 / Fig. 10(b)).
+//
+// An Interner is built once per detector (or per extract stage) and shared:
+// Intern is safe for concurrent use from parallel extract tasks, and after
+// the build the structure is read-mostly — Intern hits the read-locked fast
+// path for every previously seen token.
+package intern
+
+import (
+	"slices"
+	"sync"
+)
+
+// Interner assigns each distinct token a stable uint32 ID, in first-intern
+// order. The zero value is not usable; call New.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	toks []string
+}
+
+// New returns an empty interner.
+func New() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID of tok, assigning the next free ID on first sight.
+// Safe for concurrent use.
+func (it *Interner) Intern(tok string) uint32 {
+	it.mu.RLock()
+	id, ok := it.ids[tok]
+	it.mu.RUnlock()
+	if ok {
+		return id
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if id, ok := it.ids[tok]; ok {
+		return id
+	}
+	id = uint32(len(it.toks))
+	it.ids[tok] = id
+	it.toks = append(it.toks, tok)
+	return id
+}
+
+// Resolve returns the token for id, and whether id has been assigned.
+// Safe for concurrent use.
+func (it *Interner) Resolve(id uint32) (string, bool) {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	if int(id) >= len(it.toks) {
+		return "", false
+	}
+	return it.toks[id], true
+}
+
+// Len returns the number of distinct tokens interned so far.
+func (it *Interner) Len() int {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return len(it.toks)
+}
+
+// SortedSet interns every token and returns the sorted, deduplicated ID
+// set — the representation strsim.JaccardSortedIDs consumes. A nil or empty
+// input returns nil. The result is freshly allocated and never aliases
+// interner state.
+func (it *Interner) SortedSet(tokens []string) []uint32 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	ids := make([]uint32, len(tokens))
+	for i, t := range tokens {
+		ids[i] = it.Intern(t)
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}

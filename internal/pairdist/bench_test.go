@@ -1,0 +1,106 @@
+package pairdist
+
+import (
+	"testing"
+
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/intern"
+)
+
+// benchSink keeps the kernel's results observable to the compiler.
+var benchSink float64
+
+// BenchmarkPairKernel measures the all-pairs distance kernel over 240
+// generated reports (28,680 pairs per op) — the inner loop of the paper's
+// pairwise distance computing module (Fig. 10(b)).
+//
+//   - legacy: string-set kernel; every pair builds six map[string]struct{}
+//     and allocates a fresh []float64 vector (the pre-interning behavior).
+//   - interned: sorted-ID merge-scan kernel writing into one flat arena —
+//     zero allocations per comparison, one arena per sweep.
+//
+// `make bench-json` snapshots both into BENCH_pairdist.json; the interned
+// kernel must show >=10x fewer allocs/op and less B/op and ns/op.
+func BenchmarkPairKernel(b *testing.B) {
+	const numReports = 240
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: numReports, DuplicatePairs: 20, NumDrugs: 60, NumADRs: 90, Seed: 42,
+	})
+	it := intern.New()
+	legacy := make([]Features, numReports)
+	interned := make([]Features, numReports)
+	for i, r := range c.Reports {
+		legacy[i] = Extract(r)
+		interned[i] = ExtractWith(it, r)
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for x := 0; x < numReports; x++ {
+				for y := x + 1; y < numReports; y++ {
+					v := Distance(legacy[x], legacy[y])
+					sum += v[FieldDescription]
+				}
+			}
+			benchSink = sum
+		}
+	})
+
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf [Dims]float64
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for x := 0; x < numReports; x++ {
+				for y := x + 1; y < numReports; y++ {
+					DistanceInto(buf[:], interned[x], interned[y], JaccardMetric)
+					sum += buf[FieldDescription]
+				}
+			}
+			benchSink = sum
+		}
+	})
+
+	b.Run("interned-arena", func(b *testing.B) {
+		// The ComputeVectors shape: vectors retained, backed by one arena
+		// allocation per sweep.
+		b.ReportAllocs()
+		const pairs = numReports * (numReports - 1) / 2
+		for i := 0; i < b.N; i++ {
+			arena := make([]float64, Dims*pairs)
+			p := 0
+			for x := 0; x < numReports; x++ {
+				for y := x + 1; y < numReports; y++ {
+					DistanceInto(arena[p*Dims:(p+1)*Dims:(p+1)*Dims], interned[x], interned[y], JaccardMetric)
+					p++
+				}
+			}
+			benchSink = arena[0]
+		}
+	})
+}
+
+// BenchmarkExtract compares plain extraction against extraction with
+// interning, pricing the one-time per-report preprocessing the interned
+// kernel buys its zero-allocation comparisons with.
+func BenchmarkExtract(b *testing.B) {
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 64, DuplicatePairs: 4, NumDrugs: 30, NumADRs: 40, Seed: 7,
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Extract(c.Reports[i%len(c.Reports)])
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		it := intern.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ExtractWith(it, c.Reports[i%len(c.Reports)])
+		}
+	})
+}

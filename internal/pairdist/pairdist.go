@@ -14,6 +14,7 @@ package pairdist
 
 import (
 	"adrdedup/internal/adr"
+	"adrdedup/internal/intern"
 	"adrdedup/internal/rdd"
 	"adrdedup/internal/strsim"
 	"adrdedup/internal/text"
@@ -43,6 +44,14 @@ var FieldNames = [Dims]string{
 // Features is the preprocessed form of one report: everything the distance
 // function needs, with the NLP pipeline already applied. Extracting features
 // once per report keeps the pairwise stage O(1) string work per comparison.
+//
+// When built through ExtractWith/ExtractAllWith, the three token sets are
+// additionally interned into sorted, deduplicated uint32 ID sets (DrugIDs,
+// ADRIDs, DescIDs), which is what lets the Jaccard kernel run as an
+// allocation-free merge scan. ID sets from different interners are not
+// comparable: all features compared against each other must come from one
+// shared interner (the Detector keeps one for its lifetime). DistanceWith
+// falls back to the string kernel whenever either side lacks IDs.
 type Features struct {
 	Age        int
 	Sex        string
@@ -51,9 +60,21 @@ type Features struct {
 	DrugSet    []string
 	ADRSet     []string
 	DescTokens []string
+
+	// DrugIDs, ADRIDs, DescIDs are the interned forms of the three token
+	// sets: sorted, deduplicated IDs from the interner passed to
+	// ExtractWith. Valid only when Interned is true.
+	DrugIDs []uint32
+	ADRIDs  []uint32
+	DescIDs []uint32
+	// Interned records that the ID sets were built (they may legitimately
+	// be empty, so presence cannot be inferred from non-nil slices).
+	Interned bool
 }
 
-// Extract preprocesses one report.
+// Extract preprocesses one report without interning. Features built this
+// way always take the legacy string-set kernel; it is kept as the
+// differential oracle for the interned path.
 func Extract(r adr.Report) Features {
 	return Features{
 		Age:        r.CalculatedAge,
@@ -64,6 +85,18 @@ func Extract(r adr.Report) Features {
 		ADRSet:     adr.SplitMulti(r.MedDRAPTName),
 		DescTokens: text.Process(r.ReportDescription),
 	}
+}
+
+// ExtractWith preprocesses one report and interns its token sets through
+// it, enabling the merge-scan Jaccard kernel. The interner may be shared by
+// concurrent extract tasks.
+func ExtractWith(it *intern.Interner, r adr.Report) Features {
+	f := Extract(r)
+	f.DrugIDs = it.SortedSet(f.DrugSet)
+	f.ADRIDs = it.SortedSet(f.ADRSet)
+	f.DescIDs = it.SortedSet(f.DescTokens)
+	f.Interned = true
+	return f
 }
 
 // TextMetric selects the token-set distance used for string and free-text
@@ -101,22 +134,44 @@ func Distance(a, b Features) []float64 {
 // DistanceWith computes the distance vector under the chosen token metric.
 func DistanceWith(a, b Features, m TextMetric) []float64 {
 	v := make([]float64, Dims)
-	if a.Age != b.Age {
-		v[FieldAge] = 1
-	}
-	if a.Sex != b.Sex {
-		v[FieldSex] = 1
-	}
-	if a.State != b.State {
-		v[FieldState] = 1
-	}
-	if a.OnsetDate != b.OnsetDate {
-		v[FieldOnsetDate] = 1
-	}
-	v[FieldDrugName] = m.distance(a.DrugSet, b.DrugSet)
-	v[FieldADRName] = m.distance(a.ADRSet, b.ADRSet)
-	v[FieldDescription] = m.distance(a.DescTokens, b.DescTokens)
+	DistanceInto(v, a, b, m)
 	return v
+}
+
+// DistanceInto computes the distance vector into dst (which must have at
+// least Dims elements) and performs no allocation. When both features are
+// interned and the metric is Jaccard, the three token-set distances run as
+// merge scans over the sorted ID sets — bit-identical to the string kernel,
+// since both reduce to float64(|A∩B|)/float64(|A∪B|) over the same counts.
+// Cosine needs token multiplicities, which the deduplicated ID sets drop,
+// so it always takes the string path.
+func DistanceInto(dst []float64, a, b Features, m TextMetric) {
+	_ = dst[Dims-1]
+	dst[FieldAge] = 0
+	if a.Age != b.Age {
+		dst[FieldAge] = 1
+	}
+	dst[FieldSex] = 0
+	if a.Sex != b.Sex {
+		dst[FieldSex] = 1
+	}
+	dst[FieldState] = 0
+	if a.State != b.State {
+		dst[FieldState] = 1
+	}
+	dst[FieldOnsetDate] = 0
+	if a.OnsetDate != b.OnsetDate {
+		dst[FieldOnsetDate] = 1
+	}
+	if m == JaccardMetric && a.Interned && b.Interned {
+		dst[FieldDrugName] = strsim.JaccardDistanceSortedIDs(a.DrugIDs, b.DrugIDs)
+		dst[FieldADRName] = strsim.JaccardDistanceSortedIDs(a.ADRIDs, b.ADRIDs)
+		dst[FieldDescription] = strsim.JaccardDistanceSortedIDs(a.DescIDs, b.DescIDs)
+		return
+	}
+	dst[FieldDrugName] = m.distance(a.DrugSet, b.DrugSet)
+	dst[FieldADRName] = m.distance(a.ADRSet, b.ADRSet)
+	dst[FieldDescription] = m.distance(a.DescTokens, b.DescTokens)
 }
 
 // VectorDist is the distance between two report pairs: the Euclidean
@@ -139,8 +194,26 @@ func onesVec() []float64 {
 
 // ExtractAll preprocesses reports in parallel on the cluster (the text
 // pipeline dominates; this is the first stage of the paper's workflow in
-// Figure 1).
+// Figure 1). Features are not interned — callers that compare features
+// across multiple extraction calls should use ExtractAllWith with one
+// long-lived interner instead.
 func ExtractAll(ctx *rdd.Context, reports []adr.Report, partitions int) ([]Features, error) {
+	return extractAll(ctx, nil, reports, partitions)
+}
+
+// ExtractAllWith is ExtractAll with token interning through it, enabling
+// the merge-scan Jaccard kernel downstream. The interner is shared by the
+// parallel extract tasks (it is safe for concurrent use) and must be the
+// same one for every feature set that will be compared together.
+func ExtractAllWith(ctx *rdd.Context, it *intern.Interner, reports []adr.Report, partitions int) ([]Features, error) {
+	return extractAll(ctx, it, reports, partitions)
+}
+
+func extractAll(ctx *rdd.Context, it *intern.Interner, reports []adr.Report, partitions int) ([]Features, error) {
+	extract := Extract
+	if it != nil {
+		extract = func(r adr.Report) Features { return ExtractWith(it, r) }
+	}
 	type indexed struct {
 		i int
 		f Features
@@ -149,7 +222,7 @@ func ExtractAll(ctx *rdd.Context, reports []adr.Report, partitions int) ([]Featu
 	extracted := rdd.MapPartitionsWithIndex(src, func(p int, in []adr.Report) ([]indexed, error) {
 		out := make([]indexed, len(in))
 		for i, r := range in {
-			out[i] = indexed{i: r.ArrivalSeq, f: Extract(r)}
+			out[i] = indexed{i: r.ArrivalSeq, f: extract(r)}
 		}
 		return out, nil
 	}).SetName("features")
@@ -162,16 +235,16 @@ func ExtractAll(ctx *rdd.Context, reports []adr.Report, partitions int) ([]Featu
 		if row.i < 0 || row.i >= len(feats) {
 			// Reports straight from a generator may not have arrival
 			// sequences assigned; fall back to positional mapping.
-			return extractAllPositional(ctx, reports, partitions)
+			return extractAllPositional(ctx, extract, reports, partitions)
 		}
 		feats[row.i] = row.f
 	}
 	return feats, nil
 }
 
-func extractAllPositional(ctx *rdd.Context, reports []adr.Report, partitions int) ([]Features, error) {
+func extractAllPositional(ctx *rdd.Context, extract func(adr.Report) Features, reports []adr.Report, partitions int) ([]Features, error) {
 	src := rdd.Parallelize(ctx, reports, partitions).SetName("reports").WithBytesPerRecord(600)
-	feats, err := rdd.Map(src, Extract).SetName("features").Collect()
+	feats, err := rdd.Map(src, extract).SetName("features").Collect()
 	if err != nil {
 		return nil, err
 	}
@@ -201,10 +274,18 @@ func ComputeVectors(ctx *rdd.Context, feats []Features, pairs []IDPair, partitio
 	ctx.Cluster().Broadcast(int64(len(feats)) * 300)
 	src := rdd.Parallelize(ctx, pairs, partitions).SetName("pairIDs").WithBytesPerRecord(24)
 	vectors := rdd.MapPartitions(src, func(in []IDPair) ([]PairRecord, error) {
+		// One flat arena backs every distance vector of the partition:
+		// Dims*len(in) floats in a single allocation, re-sliced per pair
+		// (full-capacity slices, so an append on one Vec can never bleed
+		// into its neighbor). Nothing downstream mutates Vec contents, so
+		// sharing one backing array is safe; it does keep the whole
+		// partition's arena alive while any one Vec is referenced.
 		out := make([]PairRecord, len(in))
+		arena := make([]float64, Dims*len(in))
 		for i, p := range in {
-			out[i] = PairRecord{A: p.A, B: p.B, Label: p.Label,
-				Vec: Distance(feats[p.A], feats[p.B])}
+			v := arena[i*Dims : (i+1)*Dims : (i+1)*Dims]
+			DistanceInto(v, feats[p.A], feats[p.B], JaccardMetric)
+			out[i] = PairRecord{A: p.A, B: p.B, Label: p.Label, Vec: v}
 		}
 		return out, nil
 	}).SetName("pairVectors").WithBytesPerRecord(16 + 8*Dims)

@@ -1,6 +1,9 @@
 package rdd
 
-import "testing"
+import (
+	"hash/fnv"
+	"testing"
+)
 
 // FuzzHashKey fuzzes the shuffle key hasher across every supported key kind.
 // Invariants, for any input:
@@ -9,7 +12,9 @@ import "testing"
 //   - hashing is stable: the same key hashes identically across calls;
 //   - every integer width rides the splitmix64 fast path and agrees with
 //     the 64-bit hash of the same numeric value (two's-complement
-//     sign/zero extension), which pins the uint8/uint16 fast-path fix.
+//     sign/zero extension), which pins the uint8/uint16 fast-path fix;
+//   - the inlined string fast path agrees byte-for-byte with the stdlib
+//     hash/fnv FNV-1a digest, which pins the allocation-free string loop.
 //
 // The committed corpus under testdata/fuzz/FuzzHashKey seeds boundary
 // values (zero, sign bits, width maxima) and string keys.
@@ -66,6 +71,14 @@ func FuzzHashKey(f *testing.F) {
 			if want := hashKey(c.wide); c.got != want {
 				t.Errorf("hashKey(%s %d) = %d, want uint64-consistent %d", c.name, c.wide, c.got, want)
 			}
+		}
+		// String stability across releases: the inlined loop must equal
+		// the stdlib FNV-1a digest for arbitrary (including invalid-UTF-8)
+		// byte content.
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := hashKey(s), h.Sum64(); got != want {
+			t.Errorf("hashKey(%q) = %d, want stdlib FNV-1a %d", s, got, want)
 		}
 	})
 }

@@ -23,9 +23,29 @@ type Tuple2[A, B any] struct {
 // KV is a convenience constructor for Pair.
 func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
 
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a64 is hash/fnv's New64a/Write/Sum64 as an inlined loop over the
+// string's bytes, with no hash-state or byte-slice allocation. Must stay
+// bit-identical to the stdlib digest (pinned by TestHashKeyStringFNVPinned
+// and FuzzHashKey), since shuffle bucket assignment depends on it.
+func fnv1a64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // hashKey hashes a comparable key to a bucket-friendly uint64. Integers use
-// a splitmix64 finalizer; strings use FNV-1a; other comparable types fall
-// back to hashing their formatted representation.
+// a splitmix64 finalizer; strings use an inlined FNV-1a over the raw bytes
+// (no []byte conversion per record); other comparable types fall back to
+// hashing their formatted representation.
 func hashKey(k any) uint64 {
 	switch v := k.(type) {
 	case int:
@@ -49,9 +69,7 @@ func hashKey(k any) uint64 {
 	case uint64:
 		return splitmix64(v)
 	case string:
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		return h.Sum64()
+		return fnv1a64(v)
 	case bool:
 		if v {
 			return splitmix64(1)
@@ -268,11 +286,26 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPar
 			}
 			tc.SetWorkingSetBytes(int64(len(left))*sa.bytesPerRecord +
 				int64(len(right))*sb.bytesPerRecord)
-			byKey := make(map[K][]V, len(left))
+			// Count per-key cardinalities first so every value slice and
+			// the output are allocated exactly once at final size, instead
+			// of growing from nil through the append doubling schedule.
+			counts := make(map[K]int, len(left))
 			for _, kv := range left {
-				byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+				counts[kv.Key]++
 			}
-			var out []Pair[K, Tuple2[V, W]]
+			byKey := make(map[K][]V, len(counts))
+			for _, kv := range left {
+				s, ok := byKey[kv.Key]
+				if !ok {
+					s = make([]V, 0, counts[kv.Key])
+				}
+				byKey[kv.Key] = append(s, kv.Value)
+			}
+			outN := 0
+			for _, kw := range right {
+				outN += counts[kw.Key]
+			}
+			out := make([]Pair[K, Tuple2[V, W]], 0, outN)
 			for _, kw := range right {
 				for _, v := range byKey[kw.Key] {
 					out = append(out, Pair[K, Tuple2[V, W]]{

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -362,5 +363,25 @@ func TestHashKeyIntegerFastPath(t *testing.T) {
 	// data partitioned under a uint8 key co-partitions with int keys.
 	if hashKey(uint8(42)) != hashKey(int(42)) || hashKey(uint16(42)) != hashKey(int64(42)) {
 		t.Error("narrow unsigned widths hash differently from wide integers")
+	}
+}
+
+// TestHashKeyStringFNVPinned pins the inlined string fast path to the
+// stdlib FNV-1a digest and to fixed constants, so string shuffle buckets
+// never move across releases (moving them would silently repartition any
+// persisted string-keyed layout).
+func TestHashKeyStringFNVPinned(t *testing.T) {
+	for _, s := range []string{"", "a", "abc", "aspirin", "ADR report", "头痛", "case-123"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := hashKey(s), h.Sum64(); got != want {
+			t.Errorf("hashKey(%q) = %d, want stdlib FNV-1a %d", s, got, want)
+		}
+	}
+	if got := hashKey(""); got != 14695981039346656037 {
+		t.Errorf("hashKey(\"\") = %d, want FNV-1a offset basis", got)
+	}
+	if got := hashKey("a"); got != 12638187200555641996 {
+		t.Errorf("hashKey(\"a\") = %d, want pinned FNV-1a value", got)
 	}
 }

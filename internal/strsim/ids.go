@@ -1,0 +1,116 @@
+package strsim
+
+// This file holds the interned-token similarity kernel: token sets are
+// represented as sorted, deduplicated []uint32 ID slices (built once per
+// report by intern.Interner.SortedSet) and compared by a branch-predictable
+// merge scan — no hashing, no maps, no allocation per comparison. The float
+// result is bit-identical to Jaccard over the equivalent string sets: both
+// reduce to float64(|A∩B|) / float64(|A∪B|) with the same integer counts.
+
+// JaccardSortedIDs returns the Jaccard similarity |A∩B| / |A∪B| of two
+// sorted, deduplicated ID sets. Two empty sets have similarity 1; one empty
+// and one non-empty set have similarity 0, matching Jaccard over strings.
+func JaccardSortedIDs(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Disjoint-range early-out: sorted sets whose ranges do not overlap
+	// cannot intersect.
+	if a[len(a)-1] < b[0] || b[len(b)-1] < a[0] {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			inter++
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// JaccardDistanceSortedIDs is 1 - JaccardSortedIDs(a, b), the Eq. 4 set
+// distance over interned ID sets.
+func JaccardDistanceSortedIDs(a, b []uint32) float64 {
+	return 1 - JaccardSortedIDs(a, b)
+}
+
+// JaccardSimUpperBound bounds the Jaccard similarity of any two sets with
+// the given cardinalities: sim <= min(la, lb) / max(la, lb), since the
+// intersection is at most the smaller set and the union at least the
+// larger. Candidate filters use it to reject pairs from lengths alone.
+func JaccardSimUpperBound(la, lb int) float64 {
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if la > lb {
+		la, lb = lb, la
+	}
+	return float64(la) / float64(lb)
+}
+
+// JaccardSimAtLeast reports whether JaccardSortedIDs(a, b) >= minSim,
+// early-outing on the length-ratio upper bound and, during the merge scan,
+// as soon as the remaining elements cannot lift the intersection high
+// enough. For a required similarity s, |A∩B| must reach
+// s*(|A|+|B|) / (1+s) (from inter >= s*(la+lb-inter)).
+func JaccardSimAtLeast(a, b []uint32, minSim float64) bool {
+	if minSim <= 0 {
+		return true
+	}
+	if JaccardSimUpperBound(len(a), len(b)) < minSim {
+		return false
+	}
+	if len(a) == 0 && len(b) == 0 {
+		return true // similarity 1
+	}
+	// Smallest integer intersection meeting the threshold. The float
+	// estimate never overshoots the true minimum (it is a truncation of a
+	// value < minimum+1), and the loop lifts it under exactly the predicate
+	// the final return uses, so the early-outs below are exact.
+	total := len(a) + len(b)
+	need := int(minSim * float64(total) / (1 + minSim))
+	for float64(need) < minSim*float64(total-need) {
+		need++
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Positional early-out: even matching every remaining element of
+		// the shorter side cannot reach the needed intersection.
+		rem := len(a) - i
+		if r := len(b) - j; r < rem {
+			rem = r
+		}
+		if inter+rem < need {
+			return false
+		}
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			inter++
+			if inter >= need {
+				return true
+			}
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return float64(inter) >= minSim*float64(len(a)+len(b)-inter)
+}

@@ -85,6 +85,13 @@ func Hamming(a, b string) (int, bool) {
 	return d, true
 }
 
+// smallSetLen is the per-side length at or below which Jaccard and Cosine
+// use a quadratic slice scan instead of building maps. Drug and ADR value
+// sets are typically 1-3 tokens, for which hashing costs more than the
+// whole scan; both paths compute identical integer counts, so the float
+// results are bit-identical (see the property tests).
+const smallSetLen = 8
+
 // Jaccard returns the Jaccard similarity coefficient |A∩B| / |A∪B| between
 // two sets of tokens. Duplicate tokens within one input count once. Two
 // empty sets have similarity 1 (they are identical).
@@ -94,6 +101,9 @@ func Jaccard(a, b []string) float64 {
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
+	}
+	if len(a) <= smallSetLen && len(b) <= smallSetLen {
+		return jaccardSmall(a, b)
 	}
 	sa := make(map[string]struct{}, len(a))
 	for _, t := range a {
@@ -113,6 +123,58 @@ func Jaccard(a, b []string) float64 {
 	return float64(inter) / float64(union)
 }
 
+// jaccardSmall is the allocation-free small-set path: distinct and
+// intersection counts come from quadratic scans over the slices.
+func jaccardSmall(a, b []string) float64 {
+	na, inter := 0, 0
+	for i, t := range a {
+		if seenBefore(a, i, t) {
+			continue
+		}
+		na++
+		if contains(b, t) {
+			inter++
+		}
+	}
+	nb := 0
+	for i, t := range b {
+		if seenBefore(b, i, t) {
+			continue
+		}
+		nb++
+	}
+	return float64(inter) / float64(na+nb-inter)
+}
+
+// seenBefore reports whether s[i] already occurred in s[:i].
+func seenBefore(s []string, i int, t string) bool {
+	for _, u := range s[:i] {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(s []string, t string) bool {
+	for _, u := range s {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+func countOf(s []string, t string) int {
+	n := 0
+	for _, u := range s {
+		if u == t {
+			n++
+		}
+	}
+	return n
+}
+
 // JaccardDistance is 1 - Jaccard(a, b), the set distance used by the paper
 // for string-typed fields (Eq. 4).
 func JaccardDistance(a, b []string) float64 {
@@ -129,6 +191,9 @@ func Cosine(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	if len(a) <= smallSetLen && len(b) <= smallSetLen {
+		return cosineSmall(a, b)
+	}
 	ca := counts(a)
 	cb := counts(b)
 	var dot, na, nb float64
@@ -140,6 +205,35 @@ func Cosine(a, b []string) float64 {
 	}
 	for _, y := range cb {
 		nb += float64(y) * float64(y)
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// cosineSmall is the allocation-free small-set path. All partial sums are
+// small integers (counts and products of counts), which float64 represents
+// exactly, so the result is bit-identical to the map path regardless of
+// accumulation order.
+func cosineSmall(a, b []string) float64 {
+	var dot, na, nb float64
+	for i, t := range a {
+		if seenBefore(a, i, t) {
+			continue
+		}
+		x := float64(countOf(a, t))
+		na += x * x
+		if y := countOf(b, t); y > 0 {
+			dot += x * float64(y)
+		}
+	}
+	for i, t := range b {
+		if seenBefore(b, i, t) {
+			continue
+		}
+		y := float64(countOf(b, t))
+		nb += y * y
 	}
 	if dot == 0 {
 		return 0

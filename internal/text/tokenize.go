@@ -90,11 +90,16 @@ func RemoveStopwords(tokens []string) []string {
 }
 
 // Process runs the full pipeline of §4.2 on a free-text field: tokenize,
-// remove stop-words, and stem each remaining token to its root form.
+// remove stop-words, and stem each remaining token to its root form. The
+// stop-word filter and stemmer run in place on the freshly tokenized slice
+// (Tokenize always returns a new slice), so the pipeline allocates once.
 func Process(s string) []string {
-	tokens := RemoveStopwords(Tokenize(s))
-	for i, t := range tokens {
-		tokens[i] = Stem(t)
+	tokens := Tokenize(s)
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !IsStopword(t) {
+			out = append(out, Stem(t))
+		}
 	}
-	return tokens
+	return out
 }
