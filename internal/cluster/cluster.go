@@ -29,6 +29,21 @@
 // working set exceeds executor memory suffer a spill penalty and, when
 // PressureTimeouts is set, a simulated timeout failure on their first attempt
 // (reproducing the paper's observation for cluster numbers below 25).
+//
+// # Speculative execution
+//
+// With Config.Speculation set, each stage runs a straggler monitor: once
+// SpeculationQuantile of its tasks have committed, any task running longer
+// than SpeculationMultiplier x the median committed duration gets one
+// speculative duplicate attempt chain. The rival chains race; the first
+// successful attempt wins the task's single commit and cancels the other via
+// its attempt context. Virtual-clock accounting replays the race in a
+// discrete-event simulation (see speculativeSchedule) where duplicate copies
+// only ever occupy otherwise-idle slots, so the speculative makespan never
+// exceeds the no-speculation list-schedule bound. The StragglerRate injector
+// creates deterministic slow tasks (virtual cost plus a real, cancellable
+// delay) to exercise the machinery, mirroring how FailureRate exercises
+// retries.
 package cluster
 
 import (
@@ -38,7 +53,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 )
@@ -75,7 +89,7 @@ type Config struct {
 	// any task under memory pressure, as the paper reports for small
 	// cluster numbers.
 	PressureTimeouts bool
-	// Seed drives all stochastic behaviour (fault injection).
+	// Seed drives all stochastic behaviour (fault and straggler injection).
 	Seed int64
 	// RealParallelism caps worker goroutines; 0 means GOMAXPROCS.
 	RealParallelism int
@@ -83,6 +97,43 @@ type Config struct {
 	// names executor load balancing as future work (§7); LPT implements
 	// it.
 	Scheduling SchedulePolicy
+
+	// Speculation enables straggler mitigation: stages monitor running
+	// tasks and launch speculative duplicate attempts for stragglers;
+	// the first completion wins the task's commit.
+	Speculation bool
+	// SpeculationQuantile is the fraction of a stage's tasks that must
+	// commit before stragglers are considered (Spark:
+	// spark.speculation.quantile). 0 selects the default 0.75.
+	SpeculationQuantile float64
+	// SpeculationMultiplier: a running task is a straggler when its
+	// elapsed time exceeds this multiple of the median committed task
+	// duration (Spark: spark.speculation.multiplier). 0 selects the
+	// default 1.5.
+	SpeculationMultiplier float64
+	// SpeculationInterval is the real-time period of the straggler
+	// monitor's checks. 0 selects the default 250µs.
+	SpeculationInterval time.Duration
+	// SpeculationMinRuntimeMS is a real-time floor under the straggler
+	// threshold, keeping speculation from duplicating sub-millisecond
+	// tasks on noisy medians. 0 selects the default 1ms; negative
+	// disables the floor.
+	SpeculationMinRuntimeMS float64
+
+	// StragglerRate is the probability that any given task attempt is an
+	// injected straggler (deterministic per seed/stage/task/attempt, like
+	// FailureRate).
+	StragglerRate float64
+	// StragglerVirtualMS is the virtual time an injected straggler charges
+	// up front, representing the slowdown's would-be cost. 0 selects the
+	// default 250ms.
+	StragglerVirtualMS float64
+	// StragglerRealDelayMS is the real, cancellable wall-clock delay an
+	// injected straggler blocks for, giving the monitor a window to race
+	// a speculative copy. 0 selects the default 5ms; negative disables
+	// the real delay (the virtual charge still applies).
+	StragglerRealDelayMS float64
+
 	// Trace enables the structured stage/task event log (see Tracer).
 	// Disabled tracing costs one atomic load per would-be event.
 	Trace bool
@@ -139,6 +190,33 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RealParallelism <= 0 {
 		c.RealParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.SpeculationQuantile <= 0 {
+		c.SpeculationQuantile = 0.75
+	}
+	if c.SpeculationQuantile > 1 {
+		c.SpeculationQuantile = 1
+	}
+	if c.SpeculationMultiplier <= 0 {
+		c.SpeculationMultiplier = 1.5
+	}
+	if c.SpeculationInterval <= 0 {
+		c.SpeculationInterval = 250 * time.Microsecond
+	}
+	if c.SpeculationMinRuntimeMS == 0 {
+		c.SpeculationMinRuntimeMS = 1
+	} else if c.SpeculationMinRuntimeMS < 0 {
+		c.SpeculationMinRuntimeMS = 0
+	}
+	if c.StragglerVirtualMS == 0 {
+		c.StragglerVirtualMS = 250
+	} else if c.StragglerVirtualMS < 0 {
+		c.StragglerVirtualMS = 0
+	}
+	if c.StragglerRealDelayMS == 0 {
+		c.StragglerRealDelayMS = 5
+	} else if c.StragglerRealDelayMS < 0 {
+		c.StragglerRealDelayMS = 0
 	}
 	return c
 }
@@ -221,27 +299,55 @@ type StageStats struct {
 	// in VirtualDuration.
 	SchedulerOverhead time.Duration
 	RealDuration      time.Duration
+	// SpeculativeTasks counts tasks for which the straggler monitor
+	// launched a speculative duplicate chain.
+	SpeculativeTasks int
+	// SpeculativeWins counts tasks whose speculative chain won the real
+	// commit race.
+	SpeculativeWins int
+	// WastedDuration is the virtual time charged to losing copies of
+	// speculated tasks (the cost of mitigation), summed over the stage.
+	WastedDuration time.Duration
+	// Stragglers counts injected straggler attempts across the stage.
+	Stragglers int
 	// TaskStats breaks the stage down per task, including the virtual
 	// slot each task was list-scheduled onto.
 	TaskStats []TaskStat
 }
 
-// TaskStat is one task's share of a stage, summed over all its attempts.
+// TaskStat is one task's share of a stage, summed over all its attempts
+// (primary and speculative chains combined).
 type TaskStat struct {
 	Task     int
 	Attempts int
 	Failures int
 	// Slot is the virtual executor slot (0..Executors*CoresPerExecutor-1)
-	// the task's duration was list-scheduled onto.
+	// the task's primary chain was list-scheduled onto.
 	Slot int
+	// SpecSlot is the slot the speculative copy was charged to, -1 when
+	// the task was not speculated (or its copy never started in the
+	// virtual schedule).
+	SpecSlot int
 	// ComputeDuration is the measured single-threaded compute time.
 	ComputeDuration time.Duration
 	// ShuffleWaitDuration is the simulated shuffle-fetch wait.
 	ShuffleWaitDuration time.Duration
-	// VirtualDuration is the total virtual time charged to the slot
-	// (compute + simulated I/O, across all attempts, after any spill
-	// penalty).
+	// VirtualDuration is the total virtual time charged to the task's
+	// slots (compute + simulated I/O, across all attempts of both chains,
+	// after any spill penalty; losing copies charged up to cancellation).
 	VirtualDuration time.Duration
+	// WastedDuration is the share of VirtualDuration charged to the
+	// losing copy of a speculated task.
+	WastedDuration time.Duration
+	// Speculative reports that the straggler monitor launched a duplicate
+	// chain for this task.
+	Speculative bool
+	// SpecWinner reports that the speculative chain won the real commit
+	// race (the trace's outcome=winner row carries the same fact
+	// per-attempt).
+	SpecWinner bool
+	// Stragglers counts injected straggler attempts of this task.
+	Stragglers int
 }
 
 // ErrTaskFailed is returned when a task exhausts its retry budget.
@@ -252,6 +358,20 @@ var ErrTaskFailed = errors.New("cluster: task failed after max retries")
 // their virtual durations are list-scheduled onto the configured executor
 // slots to advance the cluster's virtual clock.
 func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) error) (StageStats, error) {
+	_, stats, err := c.runStage(name, numTasks, run, false)
+	return stats, err
+}
+
+// RunStageResults is RunStage for stages whose tasks produce a value: each
+// task publishes via TaskContext.PublishResult, and the returned slice holds
+// the committed (winning-attempt) value per task. With speculation enabled,
+// rival attempts of a task may run concurrently; collecting results through
+// the commit gate keeps exactly one writer per task.
+func (c *Cluster) RunStageResults(name string, numTasks int, run func(tc *TaskContext) error) ([]any, StageStats, error) {
+	return c.runStage(name, numTasks, run, true)
+}
+
+func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) error, collect bool) ([]any, StageStats, error) {
 	c.mu.Lock()
 	c.stageCounter++
 	stageID := c.stageCounter
@@ -259,20 +379,8 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 	c.tracer.Emit(Event{Kind: EventStageStart, Stage: name, StageID: stageID, Task: -1, Attempt: -1})
 
 	start := time.Now()
-	outcomes := make([]taskOutcome, numTasks)
-
-	sem := make(chan struct{}, c.cfg.RealParallelism)
-	var wg sync.WaitGroup
-	for i := 0; i < numTasks; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(task int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			outcomes[task] = c.runTask(stageID, name, task, run)
-		}(i)
-	}
-	wg.Wait()
+	sr := c.newStageRun(stageID, name, numTasks, run, collect)
+	sr.execute()
 
 	stats := StageStats{
 		Name:         name,
@@ -280,31 +388,86 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 		RealDuration: time.Since(start),
 		TaskStats:    make([]TaskStat, numTasks),
 	}
-	durations := make([]float64, numTasks)
 	var firstErr error
-	for i, o := range outcomes {
-		durations[i] = o.virtualNS
-		stats.Attempts += o.attempts
-		stats.Failures += o.failures
-		stats.ComputeDuration += time.Duration(o.computeNS)
-		stats.ShuffleWaitDuration += time.Duration(o.shuffleWaitNS)
-		stats.TaskStats[i] = TaskStat{
-			Task:                i,
-			Attempts:            o.attempts,
-			Failures:            o.failures,
-			ComputeDuration:     time.Duration(o.computeNS),
-			ShuffleWaitDuration: time.Duration(o.shuffleWaitNS),
-			VirtualDuration:     time.Duration(o.virtualNS),
+	anySpec := false
+	for i := range sr.states {
+		st := &sr.states[i]
+		ts := &stats.TaskStats[i]
+		ts.Task = i
+		ts.Attempts = st.primary.attempts + st.spec.attempts
+		ts.Failures = st.primary.failures + st.spec.failures
+		ts.ComputeDuration = time.Duration(st.primary.computeNS + st.spec.computeNS)
+		ts.ShuffleWaitDuration = time.Duration(st.primary.shuffleWaitNS + st.spec.shuffleWaitNS)
+		ts.Speculative = st.specLaunched
+		ts.SpecWinner = st.specWinner
+		ts.Stragglers = st.primary.stragglers + st.spec.stragglers
+		ts.SpecSlot = -1
+		if st.spec.ran && st.spec.attempts > 0 {
+			anySpec = true
 		}
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("stage %q task %d: %w", name, i, o.err)
+		if st.specLaunched {
+			stats.SpeculativeTasks++
+		}
+		if st.specWinner {
+			stats.SpeculativeWins++
+		}
+		stats.Attempts += ts.Attempts
+		stats.Failures += ts.Failures
+		stats.ComputeDuration += ts.ComputeDuration
+		stats.ShuffleWaitDuration += ts.ShuffleWaitDuration
+		stats.Stragglers += ts.Stragglers
+		if !st.committed && firstErr == nil {
+			err := st.primary.err
+			if err == nil {
+				err = ErrTaskFailed
+			}
+			firstErr = fmt.Errorf("stage %q task %d: %w", name, i, err)
 		}
 	}
 
-	makespanNS, slots := c.listScheduleSlots(durations)
-	for i := range stats.TaskStats {
-		stats.TaskStats[i].Slot = slots[i]
+	var makespanNS float64
+	if !anySpec {
+		// No speculative copies actually ran: the plain list schedule,
+		// bit-identical to a cluster without speculation.
+		durations := make([]float64, numTasks)
+		for i := range sr.states {
+			durations[i] = sr.states[i].primary.virtualNS
+		}
+		var slots []int
+		makespanNS, slots = c.listScheduleSlots(durations)
+		for i := range stats.TaskStats {
+			stats.TaskStats[i].Slot = slots[i]
+			stats.TaskStats[i].VirtualDuration = time.Duration(durations[i])
+		}
+	} else {
+		inputs := make([]specTaskInput, numTasks)
+		for i := range sr.states {
+			st := &sr.states[i]
+			inputs[i] = specTaskInput{
+				primaryNS:  st.primary.virtualNS,
+				specNS:     st.spec.virtualNS,
+				hasSpec:    st.spec.ran && st.spec.attempts > 0,
+				specCanWin: st.spec.succeeded,
+			}
+		}
+		var places []specPlacement
+		makespanNS, places = c.speculativeSchedule(inputs)
+		for i, p := range places {
+			ts := &stats.TaskStats[i]
+			ts.Slot = p.slot
+			ts.SpecSlot = p.specSlot
+			ts.VirtualDuration = time.Duration(p.primaryChargedNS + p.specChargedNS)
+			if p.specSlot >= 0 {
+				if p.specVirtualWinner {
+					ts.WastedDuration = time.Duration(p.primaryChargedNS)
+				} else {
+					ts.WastedDuration = time.Duration(p.specChargedNS)
+				}
+				stats.WastedDuration += ts.WastedDuration
+			}
+		}
 	}
+
 	overheadNS := c.cfg.SchedulerOverheadMS * 1e6 * (1 + 0.05*float64(c.cfg.Executors))
 	stats.VirtualDuration = time.Duration(makespanNS + overheadNS)
 	stats.SchedulerOverhead = time.Duration(overheadNS)
@@ -319,6 +482,8 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 	c.metrics.StagesRun.Add(1)
 	c.metrics.TasksLaunched.Add(int64(stats.Attempts))
 	c.metrics.TaskFailures.Add(int64(stats.Failures))
+	c.metrics.SpeculativeWins.Add(int64(stats.SpeculativeWins))
+	c.metrics.SpeculativeWastedNS.Add(int64(stats.WastedDuration))
 	c.history.add(stats)
 	if c.tracer.Enabled() {
 		e := Event{Kind: EventStageEnd, Stage: name, StageID: stageID,
@@ -328,143 +493,40 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 		}
 		c.tracer.Emit(e)
 	}
-	return stats, firstErr
-}
-
-// taskOutcome is what one task (across all its attempts) reports back to
-// RunStage.
-type taskOutcome struct {
-	virtualNS     float64
-	computeNS     float64
-	shuffleWaitNS float64
-	attempts      int
-	failures      int
-	err           error
-}
-
-// runTask executes one task, retrying failed attempts (injected, pressure
-// timeouts, and genuine errors alike) up to MaxTaskRetries times after the
-// first attempt. Every attempt's virtual time is charged to the task's slot;
-// only a successful attempt commits its buffered side effects.
-func (c *Cluster) runTask(stageID int, stageName string, task int, run func(tc *TaskContext) error) taskOutcome {
-	var out taskOutcome
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxTaskRetries; attempt++ {
-		tc := &TaskContext{cluster: c, stageID: stageID, stageName: stageName, task: task, attempt: attempt}
-		c.tracer.Emit(Event{Kind: EventTaskStart, Stage: stageName, StageID: stageID, Task: task, Attempt: attempt})
-		realStart := time.Now()
-		err := run(tc)
-		computeNS := float64(time.Since(realStart).Nanoseconds())
-		virtual := computeNS + tc.virtualNS + tc.shuffleWaitNS
-
-		pressured := false
-		if tc.workingSetBytes > int64(c.cfg.MemoryPerExecutorMB)*mb {
-			virtual *= c.cfg.SpillPenalty
-			pressured = true
-			c.metrics.PressureEvents.Add(1)
-		}
-		out.attempts = attempt + 1
-		out.virtualNS += virtual
-		out.computeNS += computeNS
-		out.shuffleWaitNS += tc.shuffleWaitNS
-
-		if err != nil {
-			out.failures++
-			lastErr = err
-			tc.discard()
-			if c.tracer.Enabled() {
-				c.tracer.Emit(Event{Kind: EventTaskError, Stage: stageName, StageID: stageID,
-					Task: task, Attempt: attempt, VirtualNS: virtual, Detail: err.Error()})
-			}
-			continue
-		}
-
-		kind := EventKind("")
-		if c.injectFailure(stageID, task, attempt) {
-			kind = EventTaskFailInjected
-		}
-		if pressured && c.cfg.PressureTimeouts && attempt == 0 {
-			// Simulated executor timeout under memory pressure.
-			kind = EventTaskPressureTimeout
-		}
-		if kind != "" {
-			out.failures++
-			tc.discard()
-			c.tracer.Emit(Event{Kind: kind, Stage: stageName, StageID: stageID,
-				Task: task, Attempt: attempt, VirtualNS: virtual})
-			continue
-		}
-
-		tc.commit()
-		c.tracer.Emit(Event{Kind: EventTaskSuccess, Stage: stageName, StageID: stageID,
-			Task: task, Attempt: attempt, VirtualNS: virtual})
-		return out
-	}
-	if lastErr != nil {
-		out.err = fmt.Errorf("%w: %w", ErrTaskFailed, lastErr)
-	} else {
-		out.err = ErrTaskFailed
-	}
-	return out
+	return sr.results, stats, firstErr
 }
 
 // injectFailure decides deterministically whether the given attempt fails.
-func (c *Cluster) injectFailure(stageID, task, attempt int) bool {
+// Speculative attempts draw from a salted stream so enabling speculation
+// never perturbs the primary chains' failure pattern for a given seed.
+func (c *Cluster) injectFailure(stageID, task, attempt int, speculative bool) bool {
 	if c.cfg.FailureRate <= 0 {
 		return false
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%d/%d/%d", c.cfg.Seed, stageID, task, attempt)
+	if speculative {
+		fmt.Fprintf(h, "%d/%d/%d/%d/spec", c.cfg.Seed, stageID, task, attempt)
+	} else {
+		fmt.Fprintf(h, "%d/%d/%d/%d", c.cfg.Seed, stageID, task, attempt)
+	}
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	return rng.Float64() < c.cfg.FailureRate
 }
 
-// listSchedule assigns task virtual durations to executor slots, always
-// picking the earliest-available slot, and returns the makespan in
-// nanoseconds. Placement order follows the configured policy: submission
-// order (FIFO) or longest-first (LPT load balancing).
-func (c *Cluster) listSchedule(durations []float64) float64 {
-	makespan, _ := c.listScheduleSlots(durations)
-	return makespan
-}
-
-// listScheduleSlots is listSchedule returning also the slot each task was
-// placed on, indexed by the task's original (submission-order) position.
-func (c *Cluster) listScheduleSlots(durations []float64) (float64, []int) {
-	slots := c.cfg.Executors * c.cfg.CoresPerExecutor
-	if slots < 1 {
-		slots = 1
+// injectStraggler decides deterministically whether the given attempt is an
+// injected straggler. The stream is independent of injectFailure's.
+// Speculative attempts are never stragglers: the injected pathology models a
+// slow or contended executor, and a speculative copy is by construction
+// relaunched on a different, healthy one — that asymmetry is the reason
+// speculation works at all.
+func (c *Cluster) injectStraggler(stageID, task, attempt int, speculative bool) bool {
+	if c.cfg.StragglerRate <= 0 || speculative {
+		return false
 	}
-	order := make([]int, len(durations))
-	for i := range order {
-		order[i] = i
-	}
-	if c.cfg.Scheduling == ScheduleLPT {
-		sort.SliceStable(order, func(a, b int) bool {
-			return durations[order[a]] > durations[order[b]]
-		})
-	}
-	avail := make([]float64, slots)
-	assigned := make([]int, len(durations))
-	for _, task := range order {
-		// Earliest-available slot; linear scan is fine for slot counts
-		// in the hundreds.
-		best := 0
-		for s := 1; s < slots; s++ {
-			if avail[s] < avail[best] {
-				best = s
-			}
-		}
-		avail[best] += durations[task]
-		assigned[task] = best
-	}
-	makespan := 0.0
-	for _, t := range avail {
-		if t > makespan {
-			makespan = t
-		}
-	}
-	return makespan, assigned
+	h := fnv.New64a()
+	fmt.Fprintf(h, "straggler/%d/%d/%d/%d", c.cfg.Seed, stageID, task, attempt)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return rng.Float64() < c.cfg.StragglerRate
 }
 
 // Broadcast charges the virtual cost of distributing bytes to every

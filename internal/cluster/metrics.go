@@ -24,6 +24,15 @@ type Metrics struct {
 	BlockEvictions        atomic.Int64
 	BlockRecomputes       atomic.Int64
 	PressureEvents        atomic.Int64
+	// SpeculativeTasksLaunched counts speculative duplicate chains started
+	// by the straggler monitor; SpeculativeWins counts those that won
+	// their task's commit race. SpeculativeWastedNS is the virtual time
+	// charged to losing copies (mitigation cost). StragglersInjected
+	// counts attempts slowed by the StragglerRate injector.
+	SpeculativeTasksLaunched atomic.Int64
+	SpeculativeWins          atomic.Int64
+	SpeculativeWastedNS      atomic.Int64
+	StragglersInjected       atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -43,6 +52,11 @@ type MetricsSnapshot struct {
 	BlockEvictions        int64
 	BlockRecomputes       int64
 	PressureEvents        int64
+
+	SpeculativeTasksLaunched int64
+	SpeculativeWins          int64
+	SpeculativeWastedNS      int64
+	StragglersInjected       int64
 }
 
 // Snapshot copies the current counter values.
@@ -63,6 +77,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BlockEvictions:        m.BlockEvictions.Load(),
 		BlockRecomputes:       m.BlockRecomputes.Load(),
 		PressureEvents:        m.PressureEvents.Load(),
+
+		SpeculativeTasksLaunched: m.SpeculativeTasksLaunched.Load(),
+		SpeculativeWins:          m.SpeculativeWins.Load(),
+		SpeculativeWastedNS:      m.SpeculativeWastedNS.Load(),
+		StragglersInjected:       m.StragglersInjected.Load(),
 	}
 }
 
@@ -83,4 +102,8 @@ func (m *Metrics) Reset() {
 	m.BlockEvictions.Store(0)
 	m.BlockRecomputes.Store(0)
 	m.PressureEvents.Store(0)
+	m.SpeculativeTasksLaunched.Store(0)
+	m.SpeculativeWins.Store(0)
+	m.SpeculativeWastedNS.Store(0)
+	m.StragglersInjected.Store(0)
 }

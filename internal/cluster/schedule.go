@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the virtual-clock schedulers. After a stage's tasks have
+// really executed, their measured virtual durations are placed onto
+// Executors x CoresPerExecutor virtual slots:
+//
+//   - listScheduleSlots is the plain greedy list scheduler (FIFO or LPT
+//     order, earliest-available slot) used for stages without speculative
+//     copies. It runs on a min-heap of slot availability times, so placement
+//     is O(tasks x log slots) instead of the old O(tasks x slots) linear
+//     scan; the heap's (avail, slot) ordering reproduces the linear scan's
+//     lowest-index tie-breaking exactly.
+//
+//   - speculativeSchedule is a discrete-event simulation of the same greedy
+//     schedule with Spark-style straggler speculation layered on: once
+//     SpeculationQuantile of the stage's tasks have (virtually) finished,
+//     any running task slower than SpeculationMultiplier x the median
+//     effective duration launches a duplicate copy on an idle slot, the
+//     first copy to finish completes the task, and the losing copy is
+//     cancelled and charged to its slot up to the completion time. Because
+//     speculative copies launch only on otherwise-idle slots after the task
+//     queue has drained, the speculative makespan can never exceed the plain
+//     list-scheduled makespan of the same durations (the no-speculation
+//     model); the property test pins this.
+
+// policyOrder returns task indices in placement order: submission order for
+// FIFO, longest-duration-first (stable) for LPT.
+func policyOrder(durations []float64, policy SchedulePolicy) []int {
+	order := make([]int, len(durations))
+	for i := range order {
+		order[i] = i
+	}
+	if policy == ScheduleLPT {
+		sort.SliceStable(order, func(a, b int) bool {
+			return durations[order[a]] > durations[order[b]]
+		})
+	}
+	return order
+}
+
+// slotHeap is a binary min-heap of virtual executor slots keyed by
+// (availability time, slot index). The secondary index ordering makes the
+// root the lowest-indexed slot among ties, matching the linear-scan
+// reference scheduler's tie-breaking bit for bit.
+type slotHeap struct {
+	avail []float64 // heap-ordered availability times
+	slot  []int     // slot index carried alongside avail
+}
+
+func newSlotHeap(slots int) *slotHeap {
+	h := &slotHeap{avail: make([]float64, slots), slot: make([]int, slots)}
+	for i := range h.slot {
+		h.slot[i] = i // all-zero avail times are already a valid heap
+	}
+	return h
+}
+
+func (h *slotHeap) less(i, j int) bool {
+	if h.avail[i] != h.avail[j] {
+		return h.avail[i] < h.avail[j]
+	}
+	return h.slot[i] < h.slot[j]
+}
+
+func (h *slotHeap) swap(i, j int) {
+	h.avail[i], h.avail[j] = h.avail[j], h.avail[i]
+	h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
+}
+
+// assign places a task of duration d on the earliest-available slot and
+// returns that slot's index and new availability time.
+func (h *slotHeap) assign(d float64) (int, float64) {
+	slot := h.slot[0]
+	h.avail[0] += d
+	after := h.avail[0]
+	// Sift the updated root down to restore the heap property.
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h.avail) && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(h.avail) && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return slot, after
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// listSchedule assigns task virtual durations to executor slots, always
+// picking the earliest-available slot, and returns the makespan in
+// nanoseconds. Placement order follows the configured policy: submission
+// order (FIFO) or longest-first (LPT load balancing).
+func (c *Cluster) listSchedule(durations []float64) float64 {
+	makespan, _ := c.listScheduleSlots(durations)
+	return makespan
+}
+
+// listScheduleSlots is listSchedule returning also the slot each task was
+// placed on, indexed by the task's original (submission-order) position.
+func (c *Cluster) listScheduleSlots(durations []float64) (float64, []int) {
+	slots := c.SlotCount()
+	if slots < 1 {
+		slots = 1
+	}
+	h := newSlotHeap(slots)
+	assigned := make([]int, len(durations))
+	makespan := 0.0
+	for _, task := range policyOrder(durations, c.cfg.Scheduling) {
+		slot, after := h.assign(durations[task])
+		assigned[task] = slot
+		if after > makespan {
+			makespan = after
+		}
+	}
+	return makespan, assigned
+}
+
+// specTaskInput is one task's measured attempt-chain durations, fed to the
+// speculative virtual scheduler by RunStage.
+type specTaskInput struct {
+	// primaryNS is the primary chain's total virtual duration (all its
+	// attempts, after any spill penalty).
+	primaryNS float64
+	// specNS is the speculative chain's total virtual duration; only
+	// meaningful when hasSpec.
+	specNS float64
+	// hasSpec marks tasks whose real execution launched a speculative
+	// copy (with at least one attempt).
+	hasSpec bool
+	// specCanWin marks speculative chains that reached a successful
+	// attempt and could therefore have completed the task. Chains that
+	// were cancelled or exhausted mid-run only waste slot time.
+	specCanWin bool
+}
+
+// specPlacement is the speculative scheduler's verdict for one task.
+type specPlacement struct {
+	slot     int // slot the primary copy ran on
+	specSlot int // slot the speculative copy was charged to, -1 if none
+
+	startNS      float64 // primary start
+	specLaunchNS float64 // speculative copy launch, 0 if none
+	completionNS float64 // first copy to finish (or primary finish)
+
+	// primaryChargedNS / specChargedNS are the virtual time actually
+	// charged to each copy's slot: the full duration for the copy that
+	// completed the task, and the truncated time-until-cancellation for
+	// the losing copy.
+	primaryChargedNS float64
+	specChargedNS    float64
+
+	// specVirtualWinner reports that the speculative copy completed the
+	// task in the virtual schedule (its finish preceded the primary's).
+	specVirtualWinner bool
+}
+
+// simEvent kinds, ordered by processing priority at equal times.
+const (
+	evFinish      = iota // a running copy finished
+	evSpecTrigger        // a task crossed the straggler threshold
+)
+
+type simEvent struct {
+	atNS float64
+	kind int
+	task int
+	spec bool // for evFinish: which copy finished
+}
+
+// eventBefore fixes a deterministic total order on simultaneous events:
+// finishes before triggers, then lower task index, primary before spec.
+func eventBefore(a, b simEvent) bool {
+	if a.atNS != b.atNS {
+		return a.atNS < b.atNS
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.task != b.task {
+		return a.task < b.task
+	}
+	return !a.spec && b.spec
+}
+
+// speculativeSchedule runs the discrete-event speculative scheduler over the
+// measured chain durations and returns the stage makespan plus per-task
+// placements. It is only invoked for stages whose real execution launched at
+// least one speculative copy; stages without speculation keep the plain
+// (bit-identical to pre-speculation) list schedule.
+func (c *Cluster) speculativeSchedule(tasks []specTaskInput) (float64, []specPlacement) {
+	n := len(tasks)
+	slots := c.SlotCount()
+	if slots < 1 {
+		slots = 1
+	}
+	quantileCount := int(math.Ceil(c.cfg.SpeculationQuantile * float64(n)))
+	if quantileCount < 1 {
+		quantileCount = 1
+	}
+
+	primary := make([]float64, n)
+	for i, t := range tasks {
+		primary[i] = t.primaryNS
+	}
+	queue := policyOrder(primary, c.cfg.Scheduling)
+	queueIdx := 0
+
+	place := make([]specPlacement, n)
+	for i := range place {
+		place[i].specSlot = -1
+	}
+
+	slotIdle := make([]bool, slots)
+	for i := range slotIdle {
+		slotIdle[i] = true
+	}
+	idleSlot := func() int {
+		for s, idle := range slotIdle {
+			if idle {
+				return s
+			}
+		}
+		return -1
+	}
+
+	primaryRunning := make([]bool, n)
+	specRunning := make([]bool, n)
+	taskDone := make([]bool, n)
+	specLaunched := make([]bool, n)
+	triggered := make([]bool, n)
+	done := 0
+
+	var events []simEvent
+	push := func(e simEvent) { events = append(events, e) }
+	pop := func() (simEvent, bool) {
+		best := -1
+		for i, e := range events {
+			if best < 0 || eventBefore(e, events[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return simEvent{}, false
+		}
+		e := events[best]
+		events = append(events[:best], events[best+1:]...)
+		return e, true
+	}
+
+	var completedDur []float64
+	medianKnown := false
+	var threshold float64 // straggler threshold: multiplier x median
+
+	startPrimary := func(task, slot int, t float64) {
+		slotIdle[slot] = false
+		primaryRunning[task] = true
+		place[task].slot = slot
+		place[task].startNS = t
+		push(simEvent{atNS: t + tasks[task].primaryNS, kind: evFinish, task: task})
+		if medianKnown && tasks[task].hasSpec && !triggered[task] {
+			triggered[task] = true
+			push(simEvent{atNS: math.Max(t, place[task].startNS+threshold), kind: evSpecTrigger, task: task})
+		}
+	}
+	startSpec := func(task, slot int, t float64) {
+		slotIdle[slot] = false
+		specRunning[task] = true
+		specLaunched[task] = true
+		place[task].specSlot = slot
+		place[task].specLaunchNS = t
+		push(simEvent{atNS: t + tasks[task].specNS, kind: evFinish, task: task, spec: true})
+	}
+
+	// waitingSpecs holds triggered tasks that found no idle slot yet, in
+	// trigger order.
+	var waitingSpecs []int
+
+	// fill launches queued primaries onto idle slots, then (only once the
+	// queue is drained, so speculation can never delay a primary) waiting
+	// speculative copies.
+	fill := func(t float64) {
+		for queueIdx < n {
+			s := idleSlot()
+			if s < 0 {
+				return
+			}
+			startPrimary(queue[queueIdx], s, t)
+			queueIdx++
+		}
+		for len(waitingSpecs) > 0 {
+			task := waitingSpecs[0]
+			if taskDone[task] || specLaunched[task] {
+				waitingSpecs = waitingSpecs[1:]
+				continue
+			}
+			s := idleSlot()
+			if s < 0 {
+				return
+			}
+			waitingSpecs = waitingSpecs[1:]
+			startSpec(task, s, t)
+		}
+	}
+
+	completeTask := func(task int, t float64, bySpec bool) {
+		taskDone[task] = true
+		place[task].completionNS = t
+		place[task].specVirtualWinner = bySpec
+		if bySpec {
+			place[task].specChargedNS = tasks[task].specNS
+			// Cancel the primary copy: charged up to the completion.
+			place[task].primaryChargedNS = t - place[task].startNS
+			primaryRunning[task] = false
+			slotIdle[place[task].slot] = true
+		} else {
+			place[task].primaryChargedNS = tasks[task].primaryNS
+			if specRunning[task] {
+				// Cancel the speculative copy at the completion.
+				place[task].specChargedNS = t - place[task].specLaunchNS
+				specRunning[task] = false
+				slotIdle[place[task].specSlot] = true
+			}
+		}
+		done++
+		completedDur = append(completedDur, t-place[task].startNS)
+		if !medianKnown && done >= quantileCount {
+			medianKnown = true
+			sorted := append([]float64(nil), completedDur...)
+			sort.Float64s(sorted)
+			threshold = c.cfg.SpeculationMultiplier * sorted[len(sorted)/2]
+			// Arm triggers for every already-running speculatable task.
+			for i := 0; i < n; i++ {
+				if primaryRunning[i] && tasks[i].hasSpec && !triggered[i] {
+					triggered[i] = true
+					push(simEvent{atNS: math.Max(t, place[i].startNS+threshold), kind: evSpecTrigger, task: i})
+				}
+			}
+		}
+	}
+
+	fill(0)
+	makespan := 0.0
+	for {
+		e, ok := pop()
+		if !ok {
+			break
+		}
+		switch e.kind {
+		case evFinish:
+			if e.spec {
+				if !specRunning[e.task] {
+					break // cancelled earlier
+				}
+				specRunning[e.task] = false
+				slotIdle[place[e.task].specSlot] = true
+				if tasks[e.task].specCanWin && !taskDone[e.task] {
+					completeTask(e.task, e.atNS, true)
+				} else if !taskDone[e.task] {
+					// A doomed speculative chain only wasted its slot.
+					place[e.task].specChargedNS = tasks[e.task].specNS
+				}
+			} else {
+				if !primaryRunning[e.task] {
+					break // cancelled earlier
+				}
+				primaryRunning[e.task] = false
+				slotIdle[place[e.task].slot] = true
+				if !taskDone[e.task] {
+					completeTask(e.task, e.atNS, false)
+				}
+			}
+			if e.atNS > makespan {
+				makespan = e.atNS
+			}
+			fill(e.atNS)
+		case evSpecTrigger:
+			if taskDone[e.task] || specLaunched[e.task] || !primaryRunning[e.task] {
+				break
+			}
+			if s := idleSlot(); s >= 0 && queueIdx >= n {
+				startSpec(e.task, s, e.atNS)
+			} else {
+				waitingSpecs = append(waitingSpecs, e.task)
+			}
+		}
+	}
+	return makespan, place
+}

@@ -1,18 +1,35 @@
 package cluster
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // ShuffleService stores committed map-side shuffle output per
 // (shuffle, reduce partition). Like Spark's shuffle files, output is retained
 // until the shuffle is unregistered, so downstream recomputation (e.g. after
 // a cache eviction) can re-read it without re-running the map stage.
+//
+// Bucket commits are idempotent: blocks are keyed by (map task, write
+// sequence), so if two attempts of the same map task ever both commit —
+// retried attempts, or speculative duplicates racing through the commit
+// window — the bucket contents equal those of a single write. Fetches return
+// blocks sorted by that key, which makes reduce-side input order (and hence
+// downstream partition contents) deterministic regardless of the real-time
+// order in which map tasks committed.
 type ShuffleService struct {
 	mu     sync.Mutex
 	nextID int
-	// blocks[shuffleID][reduceID] is the list of committed map-output
-	// buckets for that reduce partition.
-	blocks map[int]map[int][]shuffleBlock
+	// blocks[shuffleID][reduceID] maps each (map task, seq) key to its
+	// committed bucket for that reduce partition.
+	blocks map[int]map[int]map[blockKey]shuffleBlock
 	done   map[int]bool
+}
+
+// blockKey identifies one map-output bucket within a reduce partition.
+type blockKey struct {
+	mapTask int
+	seq     int
 }
 
 type shuffleBlock struct {
@@ -22,7 +39,7 @@ type shuffleBlock struct {
 
 func newShuffleService() *ShuffleService {
 	return &ShuffleService{
-		blocks: make(map[int]map[int][]shuffleBlock),
+		blocks: make(map[int]map[int]map[blockKey]shuffleBlock),
 		done:   make(map[int]bool),
 	}
 }
@@ -32,7 +49,7 @@ func (s *ShuffleService) Register() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	s.blocks[s.nextID] = make(map[int][]shuffleBlock)
+	s.blocks[s.nextID] = make(map[int]map[blockKey]shuffleBlock)
 	return s.nextID
 }
 
@@ -58,24 +75,42 @@ func (s *ShuffleService) Unregister(id int) {
 	s.mu.Unlock()
 }
 
-func (s *ShuffleService) write(shuffleID, reduceID int, data any, bytes int64) {
+func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq int, data any, bytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.blocks[shuffleID]
 	if !ok {
-		m = make(map[int][]shuffleBlock)
+		m = make(map[int]map[blockKey]shuffleBlock)
 		s.blocks[shuffleID] = m
 	}
-	m[reduceID] = append(m[reduceID], shuffleBlock{data: data, bytes: bytes})
+	bucket, ok := m[reduceID]
+	if !ok {
+		bucket = make(map[blockKey]shuffleBlock)
+		m[reduceID] = bucket
+	}
+	// Last write wins; attempts of a deterministic task write identical
+	// data, so a duplicate commit leaves the bucket unchanged.
+	bucket[blockKey{mapTask: mapTask, seq: seq}] = shuffleBlock{data: data, bytes: bytes}
 }
 
 func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	bl := s.blocks[shuffleID][reduceID]
-	out := make([]any, len(bl))
+	bucket := s.blocks[shuffleID][reduceID]
+	keys := make([]blockKey, 0, len(bucket))
+	for k := range bucket {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mapTask != keys[j].mapTask {
+			return keys[i].mapTask < keys[j].mapTask
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	out := make([]any, len(keys))
 	var bytes int64
-	for i, b := range bl {
+	for i, k := range keys {
+		b := bucket[k]
 		out[i] = b.data
 		bytes += b.bytes
 	}

@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file holds the real-execution half of speculative execution: the
+// per-stage runner that executes every task's primary attempt chain, the
+// straggler monitor that launches speculative duplicate chains, and the
+// first-completion-wins commit arbitration between rival chains.
+//
+// The policy mirrors Spark's: once SpeculationQuantile of a stage's tasks
+// have committed, any task whose primary chain has been running longer than
+// SpeculationMultiplier x the median committed real duration (but at least
+// SpeculationMinRuntimeMS) gets one speculative duplicate chain. The two
+// chains race; the first successful attempt wins an atomic per-task commit
+// and cancels the rival via its attempt context. The loser's buffered side
+// effects — shuffle writes, published results, metric deltas — are
+// discarded, exactly like a failed attempt's, which is what the chaos
+// harness (chaos_test.go) verifies bit-for-bit against a sequential oracle.
+
+// stageRun coordinates one stage's real execution.
+type stageRun struct {
+	c       *Cluster
+	stageID int
+	name    string
+	run     func(tc *TaskContext) error
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	// results holds the committed task results (PublishResult); only the
+	// single winning attempt of a task writes its slot, and readers wait
+	// for wg, so no further synchronization is needed.
+	results []any
+
+	mu            sync.Mutex
+	states        []taskState
+	committedReal []float64 // real commit durations (ns), feeds the straggler median
+}
+
+// taskState is the commit/cancellation bookkeeping of one task.
+type taskState struct {
+	start         time.Time // primary chain start (zero until launched)
+	committed     bool
+	specWinner    bool // the speculative chain won the commit race
+	specLaunched  bool
+	primaryDone   bool
+	specDone      bool
+	primaryCancel context.CancelFunc
+	specCancel    context.CancelFunc
+	primary       chainResult
+	spec          chainResult
+}
+
+// chainResult is what one attempt chain (primary or speculative) reports
+// back: its accumulated virtual-time accounting and how it ended.
+type chainResult struct {
+	ran           bool // the chain launched at all
+	virtualNS     float64
+	computeNS     float64
+	shuffleWaitNS float64
+	attempts      int
+	failures      int
+	stragglers    int
+	succeeded     bool  // reached a successful attempt (won or lost the race)
+	committed     bool  // won the commit race
+	err           error // retries exhausted (nil when committed or abandoned)
+}
+
+func (c *Cluster) newStageRun(stageID int, name string, numTasks int, run func(tc *TaskContext) error, collect bool) *stageRun {
+	sr := &stageRun{
+		c:       c,
+		stageID: stageID,
+		name:    name,
+		run:     run,
+		sem:     make(chan struct{}, c.cfg.RealParallelism),
+		states:  make([]taskState, numTasks),
+	}
+	if collect {
+		sr.results = make([]any, numTasks)
+	}
+	return sr
+}
+
+// execute runs every task's primary chain on the bounded worker pool and,
+// with speculation enabled, the straggler monitor alongside. It returns when
+// every launched chain has finished and the monitor has stopped.
+func (sr *stageRun) execute() {
+	numTasks := len(sr.states)
+	var stopMonitor, monitorDone chan struct{}
+	if sr.c.cfg.Speculation && numTasks > 1 {
+		stopMonitor = make(chan struct{})
+		monitorDone = make(chan struct{})
+		go sr.monitor(stopMonitor, monitorDone)
+	}
+	for i := 0; i < numTasks; i++ {
+		sr.wg.Add(1)
+		sr.sem <- struct{}{}
+		go func(task int) {
+			defer sr.wg.Done()
+			defer func() { <-sr.sem }()
+			sr.runChain(task, false)
+		}(i)
+	}
+	sr.wg.Wait()
+	if stopMonitor != nil {
+		close(stopMonitor)
+		<-monitorDone
+	}
+}
+
+// monitor polls the stage's progress and launches speculative duplicate
+// chains for stragglers. Speculative chains deliberately bypass the real
+// worker semaphore: their rivals are typically blocked in simulated delays,
+// and letting a speculative copy wait behind them would deadlock the very
+// mitigation it implements.
+func (sr *stageRun) monitor(stop, done chan struct{}) {
+	defer close(done)
+	cfg := sr.c.cfg
+	n := len(sr.states)
+	quantile := int(math.Ceil(cfg.SpeculationQuantile * float64(n)))
+	if quantile < 1 {
+		quantile = 1
+	}
+	minRuntimeNS := cfg.SpeculationMinRuntimeMS * 1e6
+	ticker := time.NewTicker(cfg.SpeculationInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		sr.mu.Lock()
+		if len(sr.committedReal) < quantile {
+			sr.mu.Unlock()
+			continue
+		}
+		sorted := append([]float64(nil), sr.committedReal...)
+		sort.Float64s(sorted)
+		threshold := cfg.SpeculationMultiplier * sorted[len(sorted)/2]
+		if threshold < minRuntimeNS {
+			threshold = minRuntimeNS
+		}
+		var launches []int
+		for i := range sr.states {
+			st := &sr.states[i]
+			if st.committed || st.specLaunched || st.start.IsZero() {
+				continue
+			}
+			if st.primaryDone {
+				continue // exhausted its retries; nothing left to mitigate
+			}
+			if float64(now.Sub(st.start).Nanoseconds()) > threshold {
+				// The primary chain is still running (primaryDone is
+				// false), so wg cannot reach zero before this Add.
+				st.specLaunched = true
+				sr.wg.Add(1)
+				launches = append(launches, i)
+			}
+		}
+		sr.mu.Unlock()
+		for _, task := range launches {
+			sr.c.metrics.SpeculativeTasksLaunched.Add(1)
+			sr.c.tracer.Emit(Event{Kind: EventTaskSpecLaunch, Stage: sr.name, StageID: sr.stageID,
+				Task: task, Attempt: -1, Speculative: true})
+			go func(task int) {
+				defer sr.wg.Done()
+				sr.runChain(task, true)
+			}(task)
+		}
+	}
+}
+
+// runChain executes one attempt chain (primary or speculative) of a task.
+func (sr *stageRun) runChain(task int, speculative bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sr.mu.Lock()
+	st := &sr.states[task]
+	if speculative {
+		st.specCancel = cancel
+	} else {
+		st.start = time.Now()
+		st.primaryCancel = cancel
+	}
+	alreadyCommitted := st.committed
+	sr.mu.Unlock()
+
+	var res chainResult
+	if !alreadyCommitted {
+		res = sr.runAttempts(ctx, task, speculative)
+	}
+	res.ran = true
+
+	sr.mu.Lock()
+	if speculative {
+		st.spec = res
+		st.specDone = true
+		st.specCancel = nil
+	} else {
+		st.primary = res
+		st.primaryDone = true
+		st.primaryCancel = nil
+	}
+	sr.mu.Unlock()
+}
+
+// isCommitted reports whether the task already has a committed winner.
+func (sr *stageRun) isCommitted(task int) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.states[task].committed
+}
+
+// raced reports whether the task launched a speculative chain.
+func (sr *stageRun) raced(task int) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.states[task].specLaunched
+}
+
+// tryCommit arbitrates first-completion-wins: at most one attempt of a task
+// ever commits. The winner cancels the rival chain and publishes the
+// attempt's buffered side effects; a false return means a rival already won
+// and the caller must discard.
+func (sr *stageRun) tryCommit(task int, speculative bool, tc *TaskContext) bool {
+	sr.mu.Lock()
+	st := &sr.states[task]
+	if st.committed {
+		sr.mu.Unlock()
+		return false
+	}
+	st.committed = true
+	st.specWinner = speculative
+	sr.committedReal = append(sr.committedReal, float64(time.Since(st.start).Nanoseconds()))
+	var rival context.CancelFunc
+	if speculative {
+		rival = st.primaryCancel
+	} else {
+		rival = st.specCancel
+	}
+	sr.mu.Unlock()
+	if rival != nil {
+		rival()
+	}
+	tc.commit()
+	if sr.results != nil && tc.published {
+		sr.results[task] = tc.result
+	}
+	return true
+}
+
+// runAttempts is one chain's retry loop: up to 1+MaxTaskRetries attempts,
+// each with a fresh TaskContext bound to the chain's cancellation context.
+// Injected failures, pressure timeouts, and genuine errors consume the
+// retry budget exactly as without speculation; a successful attempt races
+// for the task commit and the chain ends either way.
+func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool) chainResult {
+	c := sr.c
+	cfg := c.cfg
+	var out chainResult
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxTaskRetries; attempt++ {
+		if ctx.Err() != nil || sr.isCommitted(task) {
+			return out // abandoned: a rival won between attempts
+		}
+		tc := &TaskContext{cluster: c, ctx: ctx, stageID: sr.stageID, stageName: sr.name,
+			task: task, attempt: attempt, speculative: speculative}
+		if !speculative {
+			// Primary chains hold a RealParallelism token; blocking
+			// sleeps yield it so stalled tasks don't starve real workers.
+			tc.pause = func() { <-sr.sem }
+			tc.resume = func() { sr.sem <- struct{}{} }
+		}
+		c.tracer.Emit(Event{Kind: EventTaskStart, Stage: sr.name, StageID: sr.stageID,
+			Task: task, Attempt: attempt, Speculative: speculative})
+
+		if c.injectStraggler(sr.stageID, task, attempt, speculative) {
+			out.stragglers++
+			c.metrics.StragglersInjected.Add(1)
+			// The virtual cost is charged up front so a cancelled straggler
+			// still accounts its would-be duration deterministically; the
+			// real block gives the monitor a wall-clock window to race in.
+			tc.AddVirtualNS(cfg.StragglerVirtualMS * 1e6)
+			c.tracer.Emit(Event{Kind: EventTaskStraggler, Stage: sr.name, StageID: sr.stageID,
+				Task: task, Attempt: attempt, Speculative: speculative,
+				VirtualNS: cfg.StragglerVirtualMS * 1e6})
+			tc.sleep(time.Duration(cfg.StragglerRealDelayMS * 1e6))
+		}
+
+		tc.sleptNS = 0 // injected delay sits outside the compute window
+		realStart := time.Now()
+		err := sr.run(tc)
+		computeNS := float64(time.Since(realStart).Nanoseconds()) - tc.sleptNS
+		if computeNS < 0 {
+			computeNS = 0
+		}
+		virtual := computeNS + tc.virtualNS + tc.shuffleWaitNS
+
+		pressured := false
+		if tc.workingSetBytes > int64(cfg.MemoryPerExecutorMB)*mb {
+			virtual *= cfg.SpillPenalty
+			pressured = true
+			c.metrics.PressureEvents.Add(1)
+		}
+		out.attempts++
+		out.virtualNS += virtual
+		out.computeNS += computeNS
+		out.shuffleWaitNS += tc.shuffleWaitNS
+
+		if ctx.Err() != nil {
+			// Cancelled mid-attempt by a winning rival: discard and stop.
+			tc.discard()
+			if c.tracer.Enabled() {
+				c.tracer.Emit(Event{Kind: EventTaskCancelled, Stage: sr.name, StageID: sr.stageID,
+					Task: task, Attempt: attempt, Speculative: speculative,
+					Outcome: "loser", VirtualNS: virtual})
+			}
+			return out
+		}
+		if err != nil {
+			out.failures++
+			lastErr = err
+			tc.discard()
+			if c.tracer.Enabled() {
+				c.tracer.Emit(Event{Kind: EventTaskError, Stage: sr.name, StageID: sr.stageID,
+					Task: task, Attempt: attempt, Speculative: speculative,
+					VirtualNS: virtual, Detail: err.Error()})
+			}
+			continue
+		}
+
+		kind := EventKind("")
+		if c.injectFailure(sr.stageID, task, attempt, speculative) {
+			kind = EventTaskFailInjected
+		}
+		if pressured && cfg.PressureTimeouts && attempt == 0 {
+			// Simulated executor timeout under memory pressure.
+			kind = EventTaskPressureTimeout
+		}
+		if kind != "" {
+			out.failures++
+			tc.discard()
+			c.tracer.Emit(Event{Kind: kind, Stage: sr.name, StageID: sr.stageID,
+				Task: task, Attempt: attempt, Speculative: speculative, VirtualNS: virtual})
+			continue
+		}
+
+		// Successful attempt: race for the task's single commit.
+		out.succeeded = true
+		if sr.tryCommit(task, speculative, tc) {
+			out.committed = true
+			ev := Event{Kind: EventTaskSuccess, Stage: sr.name, StageID: sr.stageID,
+				Task: task, Attempt: attempt, Speculative: speculative, VirtualNS: virtual}
+			if sr.raced(task) {
+				ev.Outcome = "winner"
+			}
+			c.tracer.Emit(ev)
+		} else {
+			tc.discard()
+			c.tracer.Emit(Event{Kind: EventTaskCancelled, Stage: sr.name, StageID: sr.stageID,
+				Task: task, Attempt: attempt, Speculative: speculative,
+				Outcome: "loser", VirtualNS: virtual})
+		}
+		return out
+	}
+	if lastErr != nil {
+		out.err = fmt.Errorf("%w: %w", ErrTaskFailed, lastErr)
+	} else {
+		out.err = ErrTaskFailed
+	}
+	return out
+}

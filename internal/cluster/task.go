@@ -1,33 +1,58 @@
 package cluster
 
+import (
+	"context"
+	"time"
+)
+
 // TaskContext is handed to every task attempt. It accumulates the attempt's
 // simulated I/O time, bookkeeping counters, and buffered shuffle writes.
 //
 // All observable side effects of an attempt are commit-on-success, as in
-// Spark: shuffle writes become visible to downstream stages, and metric
-// deltas (records, comparisons, shuffle bytes read/written) are folded into
-// the cluster-wide Metrics registry, only when the attempt succeeds. A
-// failed or fail-injected attempt's buffered writes and counter deltas are
-// discarded, which is what makes task retry safe — and what keeps the
-// experiment harness's comparison/shuffle counters identical between
-// fault-free and fault-injected runs of the same job.
+// Spark: shuffle writes become visible to downstream stages, the published
+// task result is surfaced, and metric deltas (records, comparisons, shuffle
+// bytes read/written) are folded into the cluster-wide Metrics registry,
+// only when the attempt succeeds AND wins the task's commit race. A failed,
+// fail-injected, or speculation-losing attempt's buffered writes and counter
+// deltas are discarded, which is what makes task retry and speculative
+// duplicate attempts safe — and what keeps the experiment harness's
+// comparison/shuffle counters identical between fault-free, fault-injected,
+// and speculative runs of the same job.
 //
-// A TaskContext is used by a single goroutine (its task); it must not be
-// shared across tasks.
+// A TaskContext is used by a single goroutine (its attempt); it must not be
+// shared across attempts. With speculation enabled, two attempts of the same
+// task may run concurrently — each gets its own TaskContext, and closures
+// that publish output must do so through the commit-gated channels
+// (WriteShuffle, PublishResult, the metric counters) or their own
+// synchronization.
 type TaskContext struct {
-	cluster   *Cluster
-	stageID   int
-	stageName string
-	task      int
-	attempt   int
+	cluster     *Cluster
+	ctx         context.Context
+	stageID     int
+	stageName   string
+	task        int
+	attempt     int
+	speculative bool
 
 	// Attempt-scoped virtual time. virtualNS is general simulated I/O
 	// (broadcast reads, user-charged waits); shuffleWaitNS is the share
 	// spent fetching shuffle blocks, tracked separately so StageStats can
-	// report a compute vs. shuffle-wait breakdown.
+	// report a compute vs. shuffle-wait breakdown. sleptNS is real
+	// wall-clock time spent blocked in Delay, subtracted from the
+	// attempt's measured compute time.
 	virtualNS       float64
 	shuffleWaitNS   float64
+	sleptNS         float64
 	workingSetBytes int64
+
+	// pause/resume yield and re-acquire the attempt's real worker slot
+	// around blocking sleeps: a task stalled in simulated delay burns no
+	// CPU, so holding a RealParallelism token would starve other tasks —
+	// and, on small hosts, the very completions the straggler monitor's
+	// quantile gate waits for. Nil for attempts that hold no token
+	// (speculative chains).
+	pause  func()
+	resume func()
 
 	// Buffered metric deltas, folded into cluster.Metrics in commit().
 	records          int64
@@ -35,11 +60,18 @@ type TaskContext struct {
 	shuffleBytesRead int64
 
 	pendingShuffle []pendingWrite
+
+	// result is the value buffered by PublishResult; published holds
+	// whether it was set (so a typed nil still publishes).
+	result    any
+	published bool
 }
 
 type pendingWrite struct {
 	shuffleID int
 	reduceID  int
+	mapTask   int
+	seq       int
 	data      any
 	records   int64
 	bytes     int64
@@ -48,8 +80,67 @@ type pendingWrite struct {
 // Task returns the task's index within its stage.
 func (tc *TaskContext) Task() int { return tc.task }
 
-// Attempt returns the zero-based attempt number of this execution.
+// Attempt returns the zero-based attempt number of this execution within its
+// chain (the primary and speculative chains number attempts independently).
 func (tc *TaskContext) Attempt() int { return tc.attempt }
+
+// Speculative reports whether this attempt belongs to a speculative
+// duplicate chain launched by the straggler monitor.
+func (tc *TaskContext) Speculative() bool { return tc.speculative }
+
+// Context returns the attempt's context. It is cancelled when a rival
+// attempt of the same task commits first (speculation's
+// first-completion-wins), so long-running task closures can poll it to stop
+// early. The attempt's buffered side effects are discarded either way.
+func (tc *TaskContext) Context() context.Context {
+	if tc.ctx == nil {
+		return context.Background()
+	}
+	return tc.ctx
+}
+
+// Delay simulates a straggling attempt: it charges virtualNS of virtual time
+// immediately (so the would-be cost stays accounted even if the attempt is
+// later cancelled by a winning rival) and then blocks for up to d of real
+// wall-clock time, returning early if the attempt is cancelled. The real
+// block is excluded from the attempt's measured compute time.
+func (tc *TaskContext) Delay(d time.Duration, virtualNS float64) {
+	tc.AddVirtualNS(virtualNS)
+	tc.sleep(d)
+}
+
+// sleep blocks for up to d, waking early on attempt cancellation, and
+// records the slept time so it can be excluded from measured compute. The
+// attempt's real worker slot is yielded for the duration of the block.
+func (tc *TaskContext) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	if tc.pause != nil {
+		tc.pause()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-tc.Context().Done():
+	}
+	if tc.pause != nil {
+		tc.resume()
+	}
+	// The re-acquire wait counts as slept, not compute: the task did no
+	// work while queueing for a slot.
+	tc.sleptNS += float64(time.Since(start).Nanoseconds())
+}
+
+// PublishResult buffers v as the attempt's task result. The winning
+// attempt's value becomes the task's entry in the results returned by
+// RunStageResults; losing and failed attempts' values are discarded.
+func (tc *TaskContext) PublishResult(v any) {
+	tc.result = v
+	tc.published = true
+}
 
 // AddRecords counts records processed by the task (throughput metric). The
 // count is buffered and committed only if the attempt succeeds.
@@ -82,11 +173,16 @@ func (tc *TaskContext) SetWorkingSetBytes(n int64) {
 }
 
 // WriteShuffle buffers one output bucket for the given shuffle and reduce
-// partition. The write is committed when the attempt succeeds.
+// partition. The write is committed when the attempt succeeds. Committed
+// buckets are keyed by (map task, write sequence), so a duplicate commit of
+// the same deterministic output — e.g. by a retried or speculative attempt —
+// is idempotent: the bucket contents equal a single write.
 func (tc *TaskContext) WriteShuffle(shuffleID, reduceID int, data any, records, bytes int64) {
 	tc.pendingShuffle = append(tc.pendingShuffle, pendingWrite{
 		shuffleID: shuffleID,
 		reduceID:  reduceID,
+		mapTask:   tc.task,
+		seq:       len(tc.pendingShuffle),
 		data:      data,
 		records:   records,
 		bytes:     bytes,
@@ -111,10 +207,12 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
 
 // commit publishes the attempt's buffered side effects: shuffle output
 // becomes fetchable and metric deltas are folded into the cluster registry.
+// It is only ever called for the single attempt that won the task's commit
+// arbitration, so exactly one attempt per task publishes.
 func (tc *TaskContext) commit() {
 	m := tc.cluster.metrics
 	for _, w := range tc.pendingShuffle {
-		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.data, w.bytes)
+		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.mapTask, w.seq, w.data, w.bytes)
 		m.ShuffleBytesWritten.Add(w.bytes)
 		m.ShuffleRecordsWritten.Add(w.records)
 	}

@@ -23,12 +23,22 @@ const (
 	EventTaskFailInjected    EventKind = "task_fail_injected"
 	EventTaskPressureTimeout EventKind = "task_pressure_timeout"
 	EventTaskError           EventKind = "task_error"
-	EventBlockCached         EventKind = "block_cached"
-	EventBlockHit            EventKind = "block_hit"
-	EventBlockMiss           EventKind = "block_miss"
-	EventBlockEvict          EventKind = "block_evict"
-	EventBlockRecompute      EventKind = "block_recompute"
-	EventBroadcast           EventKind = "broadcast"
+	// EventTaskSpecLaunch marks the straggler monitor launching a
+	// speculative duplicate chain (Attempt is -1: it announces the chain,
+	// not one attempt). EventTaskStraggler marks an attempt slowed by the
+	// straggler injector. EventTaskCancelled marks an attempt abandoned
+	// because a rival attempt of the same task won the commit race; its
+	// Outcome is "loser", and the winning attempt's task_success carries
+	// Outcome "winner".
+	EventTaskSpecLaunch EventKind = "task_spec_launch"
+	EventTaskStraggler  EventKind = "task_straggler"
+	EventTaskCancelled  EventKind = "task_cancelled"
+	EventBlockCached    EventKind = "block_cached"
+	EventBlockHit       EventKind = "block_hit"
+	EventBlockMiss      EventKind = "block_miss"
+	EventBlockEvict     EventKind = "block_evict"
+	EventBlockRecompute EventKind = "block_recompute"
+	EventBroadcast      EventKind = "broadcast"
 )
 
 // Event is one structured record of the cluster's execution. Task and
@@ -54,6 +64,12 @@ type Event struct {
 	// VirtualNS is the virtual duration charged by the event's subject
 	// (e.g. a finished task attempt or stage), in nanoseconds.
 	VirtualNS float64 `json:"virtualNS,omitempty"`
+	// Speculative marks events of a speculative duplicate attempt chain.
+	Speculative bool `json:"speculative,omitempty"`
+	// Outcome is set on commit-race resolutions: "winner" on the
+	// task_success of a raced task, "loser" on the task_cancelled of the
+	// rival attempt.
+	Outcome string `json:"outcome,omitempty"`
 	// Detail is a free-form annotation: block ids ("rdd3/p7"), error
 	// strings, failure causes.
 	Detail string `json:"detail,omitempty"`
@@ -191,30 +207,34 @@ func (c *Cluster) SetTracer(t *Tracer) {
 // attempts, failures, and the virtual-time breakdown into compute,
 // shuffle-wait, and scheduler overhead. Stages are printed oldest first.
 func WriteStageSummary(w io.Writer, stages []StageStats) {
-	fmt.Fprintf(w, "%-44s %6s %8s %5s %12s %12s %12s %10s\n",
-		"stage", "tasks", "attempts", "fail", "virtual", "compute", "shuf-wait", "overhead")
-	var totVirtual, totCompute, totShuffle, totOverhead time.Duration
-	var totTasks, totAttempts, totFailures int
+	fmt.Fprintf(w, "%-44s %6s %8s %5s %5s %12s %12s %12s %10s %10s\n",
+		"stage", "tasks", "attempts", "fail", "spec", "virtual", "compute", "shuf-wait", "overhead", "wasted")
+	var totVirtual, totCompute, totShuffle, totOverhead, totWasted time.Duration
+	var totTasks, totAttempts, totFailures, totSpec int
 	for _, s := range stages {
 		name := s.Name
 		if len(name) > 44 {
 			name = name[:41] + "..."
 		}
-		fmt.Fprintf(w, "%-44s %6d %8d %5d %12s %12s %12s %10s\n",
-			name, s.Tasks, s.Attempts, s.Failures,
+		fmt.Fprintf(w, "%-44s %6d %8d %5d %5d %12s %12s %12s %10s %10s\n",
+			name, s.Tasks, s.Attempts, s.Failures, s.SpeculativeTasks,
 			roundDur(s.VirtualDuration), roundDur(s.ComputeDuration),
-			roundDur(s.ShuffleWaitDuration), roundDur(s.SchedulerOverhead))
+			roundDur(s.ShuffleWaitDuration), roundDur(s.SchedulerOverhead),
+			roundDur(s.WastedDuration))
 		totVirtual += s.VirtualDuration
 		totCompute += s.ComputeDuration
 		totShuffle += s.ShuffleWaitDuration
 		totOverhead += s.SchedulerOverhead
+		totWasted += s.WastedDuration
 		totTasks += s.Tasks
 		totAttempts += s.Attempts
 		totFailures += s.Failures
+		totSpec += s.SpeculativeTasks
 	}
-	fmt.Fprintf(w, "%-44s %6d %8d %5d %12s %12s %12s %10s\n",
-		fmt.Sprintf("TOTAL (%d stages)", len(stages)), totTasks, totAttempts, totFailures,
-		roundDur(totVirtual), roundDur(totCompute), roundDur(totShuffle), roundDur(totOverhead))
+	fmt.Fprintf(w, "%-44s %6d %8d %5d %5d %12s %12s %12s %10s %10s\n",
+		fmt.Sprintf("TOTAL (%d stages)", len(stages)), totTasks, totAttempts, totFailures, totSpec,
+		roundDur(totVirtual), roundDur(totCompute), roundDur(totShuffle),
+		roundDur(totOverhead), roundDur(totWasted))
 }
 
 func roundDur(d time.Duration) string {

@@ -256,16 +256,28 @@ func diffData(n int) []drec {
 }
 
 // runOnCluster executes prog on a fresh simulated cluster and collects the
-// result.
-func runOnCluster(t *testing.T, prog []diffOp, data []drec, parts int, failureRate float64) []drec {
+// result. With speculate set, straggler injection and an aggressive
+// speculation policy are enabled so duplicate attempts actually race the
+// primaries — results must be unaffected either way.
+func runOnCluster(t *testing.T, prog []diffOp, data []drec, parts int, failureRate float64, speculate bool) []drec {
 	t.Helper()
-	cl := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Executors:        2,
 		CoresPerExecutor: 2,
 		FailureRate:      failureRate,
 		MaxTaskRetries:   80,
 		Seed:             99,
-	})
+	}
+	if speculate {
+		cfg.Speculation = true
+		cfg.SpeculationQuantile = 0.25
+		cfg.SpeculationMultiplier = 1.1
+		cfg.SpeculationMinRuntimeMS = -1
+		cfg.StragglerRate = 0.3
+		cfg.StragglerVirtualMS = 40
+		cfg.StragglerRealDelayMS = 2
+	}
+	cl := cluster.New(cfg)
 	ctx := NewContext(cl)
 	r := Parallelize(ctx, data, parts).SetName("diff")
 	for i, op := range prog {
@@ -304,8 +316,9 @@ func canon(in []drec) []drec {
 
 // TestDifferentialFusedVsOracle: randomized programs over the full operator
 // mix (narrow chains, shuffles, caching, Union, Cartesian) must produce the
-// oracle's exact multiset on 1, 3, and 8 partitions, both fault-free and
-// under FailureRate 0.3.
+// oracle's exact multiset on 1, 3, and 8 partitions, fault-free and under
+// FailureRate 0.3, with and without speculative execution racing injected
+// stragglers.
 func TestDifferentialFusedVsOracle(t *testing.T) {
 	withFusion(t, true)
 	ops := diffOps()
@@ -316,11 +329,13 @@ func TestDifferentialFusedVsOracle(t *testing.T) {
 		want := canon(runOracle(prog, data))
 		for _, parts := range []int{1, 3, 8} {
 			for _, failureRate := range []float64{0, 0.3} {
-				name := fmt.Sprintf("seed%d/%s/parts%d/fail%v", seed, progName(prog), parts, failureRate)
-				got := canon(runOnCluster(t, prog, data, parts, failureRate))
-				if !reflect.DeepEqual(got, want) {
-					t.Errorf("%s: fused cluster result diverges from oracle\n got (%d recs): %v\nwant (%d recs): %v",
-						name, len(got), got, len(want), want)
+				for _, speculate := range []bool{false, true} {
+					name := fmt.Sprintf("seed%d/%s/parts%d/fail%v/spec%v", seed, progName(prog), parts, failureRate, speculate)
+					got := canon(runOnCluster(t, prog, data, parts, failureRate, speculate))
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: fused cluster result diverges from oracle\n got (%d recs): %v\nwant (%d recs): %v",
+							name, len(got), got, len(want), want)
+					}
 				}
 			}
 		}
@@ -372,7 +387,7 @@ func TestDifferentialFusedVsUnfused(t *testing.T) {
 				run := func(fused bool) []drec {
 					prev := SetFusionEnabled(fused)
 					defer SetFusionEnabled(prev)
-					return runOnCluster(t, prog, data, parts, failureRate)
+					return runOnCluster(t, prog, data, parts, failureRate, false)
 				}
 				fused, unfused := run(true), run(false)
 				if len(fused) == 0 && len(unfused) == 0 {

@@ -264,8 +264,10 @@ func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, p
 	if err := r.ensureDeps(); err != nil {
 		return nil, fmt.Errorf("rdd %q: preparing dependencies: %w", r.name, err)
 	}
-	results := make([]R, r.numPartitions)
-	_, err := r.ctx.cl.RunStage(fmt.Sprintf("%s@rdd%d", name, r.id), r.numPartitions, func(tc *cluster.TaskContext) error {
+	// Results flow through the commit gate (PublishResult): with
+	// speculation enabled, rival attempts of a partition run concurrently
+	// and only the winning attempt's value lands in the slice.
+	raw, _, err := r.ctx.cl.RunStageResults(fmt.Sprintf("%s@rdd%d", name, r.id), r.numPartitions, func(tc *cluster.TaskContext) error {
 		data, err := r.materialize(tc, tc.Task())
 		if err != nil {
 			return err
@@ -275,11 +277,17 @@ func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, p
 		if err != nil {
 			return err
 		}
-		results[tc.Task()] = res
+		tc.PublishResult(res)
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rdd %q: %w", r.name, err)
+	}
+	results := make([]R, r.numPartitions)
+	for i, v := range raw {
+		if v != nil {
+			results[i] = v.(R)
+		}
 	}
 	return results, nil
 }
