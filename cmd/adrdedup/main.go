@@ -136,6 +136,8 @@ func runDetect(args []string) error {
 	b := fs.Int("b", 32, "training cluster number")
 	top := fs.Int("top", 20, "matches to print")
 	executors := fs.Int("executors", 8, "simulated executors")
+	candidates := fs.String("candidates", "brute-force", "candidate strategy: brute-force, block, or prefix-index")
+	candTheta := fs.Float64("cand-theta", 0, "signature Jaccard threshold for prefix-index candidates (0 = default)")
 	speculation := fs.Bool("speculation", false, "speculatively re-launch straggler tasks (first completion wins)")
 	stragglerRate := fs.Float64("straggler-rate", 0, "deterministic straggler injection rate per task attempt")
 	stragglerMS := fs.Float64("straggler-ms", 0, "virtual slowdown charged to each injected straggler (ms; 0 = default)")
@@ -158,6 +160,17 @@ func runDetect(args []string) error {
 		return err
 	}
 
+	var strategy adrdedup.CandidateStrategy
+	switch *candidates {
+	case "brute-force":
+		strategy = adrdedup.CandidateBruteForce
+	case "block":
+		strategy = adrdedup.CandidateBlock
+	case "prefix-index":
+		strategy = adrdedup.CandidatePrefixIndex
+	default:
+		return fmt.Errorf("unknown -candidates strategy %q (want brute-force, block, or prefix-index)", *candidates)
+	}
 	det, err := adrdedup.New(adrdedup.Options{
 		Cluster: cluster.Config{
 			Executors:          *executors,
@@ -166,7 +179,9 @@ func runDetect(args []string) error {
 			StragglerRate:      *stragglerRate,
 			StragglerVirtualMS: *stragglerMS,
 		},
-		Classifier: core.Config{K: *k, B: *b, Theta: *theta},
+		Classifier:     core.Config{K: *k, B: *b, Theta: *theta},
+		Candidates:     strategy,
+		CandidateTheta: *candTheta,
 	})
 	if err != nil {
 		return err

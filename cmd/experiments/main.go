@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] <table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|all>
+//	experiments [flags] <table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|loadbalance|speculation|candidates|all>
 //
 // Pair counts default to one tenth of the paper's (100k-500k instead of
 // 1M-5M); -scale multiplies them back up (-scale 10 reproduces paper-scale
@@ -32,7 +32,7 @@ func main() {
 	metricsPath := flag.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
-		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation all\n")
+		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation candidates all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,10 +106,10 @@ func (r *runner) writeArtifacts() error {
 
 func (r *runner) run(exhibit string) error {
 	switch exhibit {
-	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation":
+	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "candidates":
 		return r.dispatch(exhibit)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation"} {
+		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "candidates"} {
 			fmt.Printf("==================== %s ====================\n", e)
 			if err := r.dispatch(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
@@ -195,8 +195,38 @@ func (r *runner) dispatch(exhibit string) error {
 		return r.loadbalance()
 	case "speculation":
 		return r.speculation()
+	case "candidates":
+		return r.candidates()
 	}
 	return fmt.Errorf("unhandled exhibit %q", exhibit)
+}
+
+func (r *runner) candidates() error {
+	records := 100_000
+	if r.quick {
+		records = 5_000
+	}
+	res, err := experiments.Candidates(experiments.CandidatesParams{
+		Records: records, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Candidate generation wall: %d reports, theta %.2f, %s partitioning, %d partitions\n",
+		res.Records, res.Theta, res.Mode, res.Partitions)
+	fmt.Printf("%-22s %18s\n", "funnel stage", "pairs")
+	fmt.Printf("%-22s %18d\n", "quadratic space", res.TotalPairs)
+	fmt.Printf("%-22s %18d\n", "prefix-index scanned", res.Scanned)
+	fmt.Printf("%-22s %18d\n", "exactly verified", res.Verified)
+	fmt.Printf("%-22s %18d\n", "candidates emitted", res.Candidates)
+	fmt.Printf("candidate reduction: %.0fx\n", res.ReductionX)
+	fmt.Printf("prefix path: %v generation (index entries: %d) + %v downstream vectorization = %v\n",
+		res.PrefixWall.Round(time.Millisecond), res.IndexEntries,
+		res.PrefixDownstream.Round(time.Millisecond), res.PrefixTotal.Round(time.Millisecond))
+	fmt.Printf("brute path: %d-pair sample vectorized in %v; extrapolated %v over the quadratic space (%.0fx slower)\n",
+		res.SamplePairs, res.SampleWall.Round(time.Millisecond),
+		res.BruteExtrapolated.Round(time.Second), res.SpeedupX)
+	return nil
 }
 
 func (r *runner) speculation() error {

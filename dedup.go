@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"adrdedup/internal/adr"
+	"adrdedup/internal/candgen"
 	"adrdedup/internal/cluster"
 	"adrdedup/internal/core"
 	"adrdedup/internal/intern"
@@ -56,8 +57,54 @@ type Options struct {
 	// magnitude on large databases at the cost of missing duplicates
 	// whose drug *and* reaction lists were both recoded (rare: the
 	// paper's Table 1 duplicates always share the drug).
+	//
+	// Deprecated: equivalent to Candidates = CandidateBlock; ignored when
+	// Candidates is set explicitly.
 	CandidateBlocking bool
+	// Candidates selects how Eq. 3's candidate pairs are generated; see
+	// CandidateStrategy. The zero value is brute force (all pairs), unless
+	// the legacy CandidateBlocking flag is set.
+	Candidates CandidateStrategy
+	// CandidateTheta is the signature Jaccard threshold used by
+	// CandidatePrefixIndex (0 = the 0.5 default). Pairs whose signature
+	// similarity falls below it are never vectorized or classified.
+	CandidateTheta float64
 }
+
+// CandidateStrategy selects the candidate-generation algorithm feeding the
+// pairwise distance stage.
+type CandidateStrategy int
+
+const (
+	// CandidateBruteForce enumerates every Eq. 3 pair — exact, quadratic.
+	CandidateBruteForce CandidateStrategy = iota
+	// CandidateBlock keeps pairs sharing a drug or reaction term (the
+	// legacy CandidateBlocking behavior).
+	CandidateBlock
+	// CandidatePrefixIndex keeps pairs whose signature-set Jaccard
+	// similarity reaches Options.CandidateTheta, found with the
+	// prefix-filtered inverted index of internal/candgen — exact with
+	// respect to that threshold, far below quadratic work in practice.
+	CandidatePrefixIndex
+)
+
+func (s CandidateStrategy) String() string {
+	switch s {
+	case CandidateBlock:
+		return "block"
+	case CandidatePrefixIndex:
+		return "prefix-index"
+	default:
+		return "brute-force"
+	}
+}
+
+// DefaultCandidateTheta is the signature-similarity threshold
+// CandidatePrefixIndex uses when Options.CandidateTheta is zero. Duplicate
+// ADR reports re-describe the same drugs, reactions, and narrative, so
+// their signature sets overlap heavily; 0.5 keeps every plausibly matching
+// pair while discarding the bulk of the quadratic space.
+const DefaultCandidateTheta = 0.5
 
 // Detector is the end-to-end duplicate detection pipeline bound to one
 // report database. Methods must be called from one goroutine, mirroring a
@@ -280,7 +327,7 @@ func (d *Detector) DetectAll(batch []adr.Report) ([]Match, error) {
 	return d.detect(batch, true)
 }
 
-func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, error) {
+func (d *Detector) detect(batch []adr.Report, includePruned bool) (_ []Match, retErr error) {
 	if d.clf == nil {
 		return nil, errors.New("adrdedup: classifier not trained")
 	}
@@ -288,9 +335,21 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, erro
 		return nil, nil
 	}
 	existing := d.db.Len()
+	nFeats := len(d.feats)
 	if err := d.db.Add(batch...); err != nil {
 		return nil, err
 	}
+	// Detect must be atomic: either the batch is absorbed and its matches
+	// returned, or the detector is left exactly as it was. Without this
+	// rollback, a transient failure after Add left the batch in the
+	// database but unreported, and retrying the same batch failed on its
+	// own case numbers.
+	defer func() {
+		if retErr != nil {
+			d.db.Truncate(existing)
+			d.feats = d.feats[:nFeats]
+		}
+	}()
 	if err := d.extendFeatures(); err != nil {
 		return nil, err
 	}
@@ -298,15 +357,9 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, erro
 
 	// Candidate pairs of Eq. 3: new x earlier, including earlier batch
 	// members (r is checked against A ∪ R - r, deduplicated by ordering).
-	var ids []pairdist.IDPair
-	if d.opts.CandidateBlocking {
-		ids = d.blockedCandidates(existing, total)
-	} else {
-		for b := existing; b < total; b++ {
-			for a := 0; a < b; a++ {
-				ids = append(ids, pairdist.IDPair{A: a, B: b})
-			}
-		}
+	ids, err := d.candidates(existing, total)
+	if err != nil {
+		return nil, err
 	}
 	if len(ids) == 0 {
 		return nil, nil
@@ -339,8 +392,66 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) ([]Match, erro
 			Pruned:    res.Pruned,
 		})
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i].Score > matches[j].Score })
+	// Descending score; ties broken by case numbers so equal-scored
+	// matches come out in one deterministic order regardless of sort
+	// internals or candidate enumeration order.
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		if matches[i].CaseA != matches[j].CaseA {
+			return matches[i].CaseA < matches[j].CaseA
+		}
+		return matches[i].CaseB < matches[j].CaseB
+	})
 	return matches, nil
+}
+
+// candidates dispatches to the configured candidate-generation strategy.
+func (d *Detector) candidates(existing, total int) ([]pairdist.IDPair, error) {
+	strategy := d.opts.Candidates
+	if strategy == CandidateBruteForce && d.opts.CandidateBlocking {
+		strategy = CandidateBlock
+	}
+	switch strategy {
+	case CandidateBlock:
+		return d.blockedCandidates(existing, total), nil
+	case CandidatePrefixIndex:
+		return d.prefixCandidates(existing, total)
+	case CandidateBruteForce:
+		var ids []pairdist.IDPair
+		for b := existing; b < total; b++ {
+			for a := 0; a < b; a++ {
+				ids = append(ids, pairdist.IDPair{A: a, B: b})
+			}
+		}
+		return ids, nil
+	default:
+		return nil, fmt.Errorf("adrdedup: unknown candidate strategy %d", strategy)
+	}
+}
+
+// prefixCandidates generates Eq. 3's pairs through the prefix-filtered
+// inverted index (internal/candgen): exactly the pairs whose signature sets
+// reach CandidateTheta, restricted to those touching the new batch.
+func (d *Detector) prefixCandidates(existing, total int) ([]pairdist.IDPair, error) {
+	theta := d.opts.CandidateTheta
+	if theta == 0 {
+		theta = DefaultCandidateTheta
+	}
+	sigs, err := candgen.Signatures(d.feats[:total])
+	if err != nil {
+		return nil, fmt.Errorf("adrdedup: building candidate signatures: %w", err)
+	}
+	pairs, _, err := candgen.Pairs(d.ctx, sigs, candgen.Params{
+		Theta:      theta,
+		Partitions: d.classifierPartitions(),
+		MinArrival: existing,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adrdedup: generating prefix-index candidates: %w", err)
+	}
+	return pairs, nil
 }
 
 // blockedCandidates generates the Eq. 3 candidate set under blocking: a new

@@ -10,6 +10,7 @@ import (
 	"adrdedup/internal/cluster"
 	"adrdedup/internal/core"
 	"adrdedup/internal/pairdist"
+	"adrdedup/internal/rdd"
 )
 
 // testCorpus returns a small deterministic corpus plus a detector pre-loaded
@@ -575,5 +576,211 @@ func TestMetricsExposed(t *testing.T) {
 	}
 	if det.Engine() == nil {
 		t.Error("engine must be exposed")
+	}
+}
+
+// TestDetectRollsBackOnEngineFailure pins the atomicity of Detect on the
+// early error path: the batch is absorbed into the database *before*
+// feature extraction, so a failed extraction must put the database back or
+// the batch is silently lost — a retry then failed on its own case numbers
+// instead of detecting anything.
+func TestDetectRollsBackOnEngineFailure(t *testing.T) {
+	c, det, batch := testCorpus(t, 20)
+	trainOnGroundTruth(t, c, det, 2000)
+	existing := det.Database().Len()
+	nFeats := len(det.feats)
+
+	// Swap in an engine whose tasks always fail: extraction of the new
+	// batch dies after the database has absorbed it.
+	goodCl, goodCtx := det.cl, det.ctx
+	badCl := cluster.New(cluster.Config{Executors: 2, FailureRate: 1, MaxTaskRetries: 1, Seed: 5})
+	det.cl, det.ctx = badCl, rdd.NewContext(badCl)
+	if _, err := det.Detect(batch); err == nil {
+		t.Fatal("expected Detect to fail on the always-failing engine")
+	}
+	det.cl, det.ctx = goodCl, goodCtx
+
+	if got := det.Database().Len(); got != existing {
+		t.Fatalf("failed Detect left the database at %d reports, want %d", got, existing)
+	}
+	if got := len(det.feats); got != nFeats {
+		t.Fatalf("failed Detect left %d features, want %d", got, nFeats)
+	}
+
+	// The same batch retried must now be fully processed.
+	matches, err := det.Detect(batch)
+	if err != nil {
+		t.Fatalf("retrying the batch after a failed Detect: %v", err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("retried Detect returned no matches")
+	}
+	if got := det.Database().Len(); got != existing+len(batch) {
+		t.Fatalf("retried Detect absorbed to %d reports, want %d", got, existing+len(batch))
+	}
+	_ = c
+}
+
+// TestDetectRollsBackOnClassifierFailure pins the late error path: the
+// failure strikes *after* the batch's features were extracted and appended,
+// so both the database and the feature slice must roll back together.
+func TestDetectRollsBackOnClassifierFailure(t *testing.T) {
+	c, det, batch := testCorpus(t, 20)
+	trainOnGroundTruth(t, c, det, 2000)
+	existing := det.Database().Len()
+	nFeats := len(det.feats)
+
+	// A classifier trained on 5-dimensional vectors rejects the
+	// 7-dimensional pair vectors, deterministically failing Detect at the
+	// classification step.
+	goodClf := det.clf
+	bogus := make([]core.TrainingPair, 8)
+	for i := range bogus {
+		v := make([]float64, 5)
+		v[i%5] = float64(i + 1)
+		label := -1
+		if i%2 == 0 {
+			label = 1
+		}
+		bogus[i] = core.TrainingPair{Vec: v, Label: label}
+	}
+	badClf, err := core.Train(det.ctx, bogus, core.Config{K: 1, B: 2, C: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.clf = badClf
+	if _, err := det.Detect(batch); err == nil {
+		t.Fatal("expected Detect to fail on the wrong-dimension classifier")
+	}
+	det.clf = goodClf
+
+	if got := det.Database().Len(); got != existing {
+		t.Fatalf("failed Detect left the database at %d reports, want %d", got, existing)
+	}
+	if got := len(det.feats); got != nFeats {
+		t.Fatalf("failed Detect left %d features, want %d (features not rolled back)", got, nFeats)
+	}
+
+	matches, err := det.Detect(batch)
+	if err != nil {
+		t.Fatalf("retrying the batch after a failed Detect: %v", err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("retried Detect returned no matches")
+	}
+	if got := det.Database().Len(); got != existing+len(batch) {
+		t.Fatalf("retried Detect absorbed to %d reports, want %d", got, existing+len(batch))
+	}
+	_ = c
+}
+
+// TestDetectMatchOrderDeterministic pins the total order of Detect's output:
+// descending score, ties broken by (CaseA, CaseB). kNN scores take at most
+// k+1 distinct values, so equal-score runs are long and an unstable sort
+// keyed on score alone shuffled them unpredictably.
+func TestDetectMatchOrderDeterministic(t *testing.T) {
+	run := func() []Match {
+		c, det, batch := testCorpus(t, 20)
+		trainOnGroundTruth(t, c, det, 2000)
+		matches, err := det.DetectAll(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return matches
+	}
+	matches := run()
+	if len(matches) < 2 {
+		t.Fatalf("only %d matches; ordering test is vacuous", len(matches))
+	}
+	ties := 0
+	for i := 1; i < len(matches); i++ {
+		a, b := matches[i-1], matches[i]
+		if a.Score < b.Score {
+			t.Fatalf("matches %d,%d not in descending score order: %v < %v", i-1, i, a.Score, b.Score)
+		}
+		if a.Score == b.Score {
+			ties++
+			if a.CaseA > b.CaseA || (a.CaseA == b.CaseA && a.CaseB >= b.CaseB) {
+				t.Fatalf("equal-score matches %d,%d not ordered by case numbers: (%s,%s) before (%s,%s)",
+					i-1, i, a.CaseA, a.CaseB, b.CaseA, b.CaseB)
+			}
+		}
+	}
+	if ties == 0 {
+		t.Fatal("no equal-score runs in output; tie-break untested")
+	}
+	// A fully independent re-run must reproduce the identical sequence.
+	again := run()
+	if len(again) != len(matches) {
+		t.Fatalf("re-run returned %d matches, first run %d", len(again), len(matches))
+	}
+	for i := range matches {
+		if matches[i] != again[i] {
+			t.Fatalf("match %d differs between identical runs: %+v vs %+v", i, matches[i], again[i])
+		}
+	}
+}
+
+// TestCandidatePrefixIndexKeepsDuplicatesCutsPairs runs the full pipeline
+// under the prefix-filtered candidate generator: far fewer pairs are scored
+// than exhaustively, and every ground-truth duplicate the exhaustive run
+// flags survives (duplicate reports re-describe the same drugs, reactions,
+// and narrative, so their signature overlap clears the threshold).
+func TestCandidatePrefixIndexKeepsDuplicatesCutsPairs(t *testing.T) {
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 500, DuplicatePairs: 40, NumDrugs: 80, NumADRs: 120, Seed: 42,
+	})
+	build := func(strategy CandidateStrategy) (*Detector, []adr.Report) {
+		det, err := New(Options{
+			Cluster:        cluster.Config{Executors: 4},
+			Classifier:     core.Config{K: 7, B: 8, C: 4, Seed: 1},
+			Candidates:     strategy,
+			CandidateTheta: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := len(c.Reports) - 20
+		existing := make([]adr.Report, cut)
+		copy(existing, c.Reports[:cut])
+		batch := make([]adr.Report, 20)
+		copy(batch, c.Reports[cut:])
+		if err := det.AddKnownReports(existing); err != nil {
+			t.Fatal(err)
+		}
+		trainOnGroundTruth(t, c, det, 1000)
+		return det, batch
+	}
+
+	detFull, batch := build(CandidateBruteForce)
+	full, err := detFull.DetectAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detPrefix, batch2 := build(CandidatePrefixIndex)
+	prefixed, err := detPrefix.DetectAll(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixed) == 0 {
+		t.Fatal("prefix-index run scored no pairs")
+	}
+	if len(prefixed)*2 >= len(full) {
+		t.Errorf("prefix index scored %d pairs vs exhaustive %d; expected far fewer", len(prefixed), len(full))
+	}
+	flagged := make(map[[2]string]bool)
+	for _, m := range Duplicates(prefixed) {
+		flagged[[2]string{m.CaseA, m.CaseB}] = true
+		flagged[[2]string{m.CaseB, m.CaseA}] = true
+	}
+	for _, m := range Duplicates(full) {
+		a, _ := detFull.Database().Get(m.CaseA)
+		b, _ := detFull.Database().Get(m.CaseB)
+		if !c.IsDuplicatePair(a.ArrivalSeq, b.ArrivalSeq) {
+			continue
+		}
+		if !flagged[[2]string{m.CaseA, m.CaseB}] {
+			t.Errorf("prefix index lost true duplicate %s/%s", m.CaseA, m.CaseB)
+		}
 	}
 }

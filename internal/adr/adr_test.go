@@ -220,3 +220,69 @@ func TestFormatOnsetDate(t *testing.T) {
 		t.Errorf("FormatOnsetDate = %q", got)
 	}
 }
+
+func TestDatabaseAddAtomic(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(sample("A"), sample("B")); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-batch collision with a stored report: nothing may be absorbed,
+	// not even the valid prefix before the colliding report.
+	if err := db.Add(sample("C"), sample("A"), sample("D")); err == nil {
+		t.Fatal("expected error on mid-batch collision")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("rejected batch changed Len: %d, want 2", db.Len())
+	}
+	if _, ok := db.Get("C"); ok {
+		t.Error("prefix of rejected batch was absorbed")
+	}
+	// Intra-batch collision, no overlap with stored reports.
+	if err := db.Add(sample("E"), sample("E")); err == nil {
+		t.Fatal("expected error on intra-batch collision")
+	}
+	if _, ok := db.Get("E"); ok {
+		t.Error("intra-batch colliding report was absorbed")
+	}
+	// The database still works after rejections.
+	if err := db.Add(sample("C"), sample("D")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := db.Get("C"); got.ArrivalSeq != 2 {
+		t.Errorf("C has ArrivalSeq %d, want 2", got.ArrivalSeq)
+	}
+}
+
+func TestDatabaseTruncate(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(sample("A"), sample("B"), sample("C"), sample("D")); err != nil {
+		t.Fatal(err)
+	}
+	db.Truncate(2)
+	if db.Len() != 2 {
+		t.Fatalf("Len after Truncate(2) = %d", db.Len())
+	}
+	if _, ok := db.Get("C"); ok {
+		t.Error("truncated case C still resolvable")
+	}
+	if _, ok := db.Get("B"); !ok {
+		t.Error("surviving case B lost")
+	}
+	// Truncated case numbers are free again and sequences continue from
+	// the truncation point.
+	if err := db.Add(sample("C"), sample("E")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := db.Get("C"); got.ArrivalSeq != 2 {
+		t.Errorf("re-added C has ArrivalSeq %d, want 2", got.ArrivalSeq)
+	}
+	// Out-of-range truncations are no-ops / clamps.
+	db.Truncate(99)
+	if db.Len() != 4 {
+		t.Errorf("Truncate(99) changed Len to %d", db.Len())
+	}
+	db.Truncate(-1)
+	if db.Len() != 0 {
+		t.Errorf("Truncate(-1) left Len %d", db.Len())
+	}
+}

@@ -28,9 +28,14 @@ func NewDatabase() *Database {
 // case numbers identify records, and a collision means the feed is broken
 // (duplicate *reports* have different case numbers; that is the problem this
 // system exists to solve).
+//
+// Add is atomic: the whole batch is validated before anything is stored, so
+// a rejected batch leaves the database exactly as it was — no prefix of the
+// batch is absorbed.
 func (d *Database) Add(reports ...Report) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	inBatch := make(map[string]struct{}, len(reports))
 	for _, r := range reports {
 		if r.CaseNumber == "" {
 			return fmt.Errorf("adr: report without case number")
@@ -38,11 +43,36 @@ func (d *Database) Add(reports ...Report) error {
 		if _, exists := d.byCase[r.CaseNumber]; exists {
 			return fmt.Errorf("adr: duplicate case number %q", r.CaseNumber)
 		}
+		if _, exists := inBatch[r.CaseNumber]; exists {
+			return fmt.Errorf("adr: duplicate case number %q", r.CaseNumber)
+		}
+		inBatch[r.CaseNumber] = struct{}{}
+	}
+	for _, r := range reports {
 		r.ArrivalSeq = len(d.reports)
 		d.byCase[r.CaseNumber] = len(d.reports)
 		d.reports = append(d.reports, r)
 	}
 	return nil
+}
+
+// Truncate discards every report with arrival sequence >= n, restoring the
+// database to its state before those reports were added. Callers use it to
+// roll back an absorbed batch when a later step of an atomic operation
+// fails. Truncating beyond the current length is a no-op.
+func (d *Database) Truncate(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(d.reports) {
+		return
+	}
+	for _, r := range d.reports[n:] {
+		delete(d.byCase, r.CaseNumber)
+	}
+	d.reports = d.reports[:n]
 }
 
 // Len returns the number of stored reports.

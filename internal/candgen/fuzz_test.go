@@ -1,0 +1,131 @@
+package candgen
+
+import (
+	"testing"
+)
+
+// decodeCorpus turns arbitrary fuzz bytes into a signature corpus. Byte 0
+// scales θ into (0, 1]; the rest split into records on 0xFF, each remaining
+// byte one token ID mod 48 (a small universe forces collisions, duplicates
+// inside a record, and empty records — exactly the shapes the plan must
+// normalize away).
+func decodeCorpus(data []byte) (theta float64, sigs [][]uint32) {
+	theta = 0.5
+	if len(data) > 0 {
+		theta = float64(1+int(data[0])) / 256
+		data = data[1:]
+	}
+	sigs = [][]uint32{nil}
+	for _, b := range data {
+		if b == 0xFF {
+			sigs = append(sigs, nil)
+			continue
+		}
+		tok := uint32(b % 48)
+		last := sigs[len(sigs)-1]
+		dup := false
+		for _, t := range last {
+			if t == tok {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			// Insertion sort keeps each signature sorted + deduplicated,
+			// the intern.SortedSet contract Signatures guarantees.
+			i := len(last)
+			last = append(last, tok)
+			for ; i > 0 && last[i-1] > last[i]; i-- {
+				last[i-1], last[i] = last[i], last[i-1]
+			}
+			sigs[len(sigs)-1] = last
+		}
+	}
+	return theta, sigs
+}
+
+// FuzzPrefixPlan fuzzes prefix-index construction end to end: arbitrary
+// bytes become a signature corpus and threshold, the plan is built, its
+// structural invariants are asserted, the inverted index is constructed
+// over the full processing order, and the single-task generation result is
+// compared pair-for-pair against the from-scratch quadratic oracle. Recall
+// exactness is the property under fuzz: no byte string may produce a plan
+// that drops or duplicates a qualifying pair.
+func FuzzPrefixPlan(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte{128, 1, 2, 3, 0xFF, 1, 2, 3, 0xFF, 0xFF, 4})
+	f.Add([]byte{255, 7, 7, 7, 0xFF, 7, 9, 0xFF, 9})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 5, 6, 0xFF, 6, 5})
+	f.Add([]byte{64, 47, 46, 45, 44, 0xFF, 44, 45, 46, 0xFF, 1, 44})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("cap corpus size; the oracle is quadratic")
+		}
+		theta, sigs := decodeCorpus(data)
+		pl := buildPlan(sigs, theta)
+
+		// Structural invariants of the plan and index.
+		if len(pl.order)+len(pl.empty) != len(sigs) {
+			t.Fatalf("order %d + empty %d != %d records", len(pl.order), len(pl.empty), len(sigs))
+		}
+		for p, id := range pl.order {
+			if pl.pos[id] != int32(p) {
+				t.Fatalf("pos/order not inverse at %d", id)
+			}
+			if p > 0 && pl.lens[p-1] > pl.lens[p] {
+				t.Fatalf("processing order not size-ascending at %d", p)
+			}
+			l := len(pl.ordered[id])
+			if pf := int(pl.prefixLen[id]); pf < 1 || pf > l {
+				t.Fatalf("prefixLen[%d] = %d outside [1, %d]", id, pf, l)
+			}
+		}
+		idx := make(postings)
+		entries := pl.indexRange(idx, 0, len(pl.order))
+		var listed int64
+		for tok, list := range idx {
+			listed += int64(len(list))
+			for i, e := range list {
+				if i > 0 && list[i-1].pos >= e.pos {
+					t.Fatalf("posting list %d not position-ascending: %v", tok, list)
+				}
+				id := pl.order[e.pos]
+				pf := pl.prefix(id)
+				if int(e.idx) >= len(pf) || pf[e.idx] != tok {
+					t.Fatalf("record %d posted under %d at index %d, but prefix is %v", id, tok, e.idx, pf)
+				}
+			}
+		}
+		if listed != entries {
+			t.Fatalf("indexRange reported %d entries, lists hold %d", entries, listed)
+		}
+
+		// Recall exactness, single diagonal block (the 2-D kernel covering
+		// the whole corpus), against the independent quadratic oracle.
+		var st Stats
+		got := map[[2]int32]int{}
+		pl.probeBlockPair(0, len(pl.order), 0, len(pl.order),
+			func(a, b int32) bool { return true }, &st,
+			func(a, b int32) { got[[2]int32{a, b}]++ })
+		for i := 0; i < len(pl.empty); i++ {
+			for j := i + 1; j < len(pl.empty); j++ {
+				got[[2]int32{pl.empty[i], pl.empty[j]}]++
+			}
+		}
+		want := naivePairs(sigs, theta, 0)
+		for _, p := range want {
+			k := [2]int32{int32(p.A), int32(p.B)}
+			switch got[k] {
+			case 1:
+				delete(got, k)
+			case 0:
+				t.Fatalf("θ=%v: qualifying pair (%d,%d) dropped; sigs=%v", theta, p.A, p.B, sigs)
+			default:
+				t.Fatalf("θ=%v: pair (%d,%d) emitted %d times; sigs=%v", theta, p.A, p.B, got[k], sigs)
+			}
+		}
+		for k := range got {
+			t.Fatalf("θ=%v: non-qualifying pair (%d,%d) emitted; sigs=%v", theta, k[0], k[1], sigs)
+		}
+	})
+}

@@ -99,6 +99,18 @@ func ExtractWith(it *intern.Interner, r adr.Report) Features {
 	return f
 }
 
+// SignatureIDs returns the report's signature set: the sorted union of the
+// three interned token-ID sets (drugs, ADRs, description). All three share
+// one interner ID space, so the union is a well-defined token set; it is
+// what the prefix-filtered candidate generator (internal/candgen) indexes.
+// Valid only for interned features (ok is false otherwise).
+func (f Features) SignatureIDs() (ids []uint32, ok bool) {
+	if !f.Interned {
+		return nil, false
+	}
+	return strsim.UnionSortedIDs(f.DrugIDs, f.ADRIDs, f.DescIDs), true
+}
+
 // TextMetric selects the token-set distance used for string and free-text
 // fields. The paper uses Jaccard (Eq. 4); cosine is provided for the metric
 // ablation (both are among the §1 candidates).

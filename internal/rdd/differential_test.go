@@ -196,6 +196,20 @@ func diffOps() []diffOp {
 			},
 		},
 		{
+			name:    "sortBy",
+			shuffle: true,
+			apply: func(r *RDD[drec], np int) *RDD[drec] {
+				return SortBy(r, func(a, b drec) bool { return a.Key < b.Key }, np)
+			},
+			oracle: func(in []drec, _ int) []drec {
+				// Stable by key: equal keys keep input order, the engine's
+				// contract (stable local sorts + deterministic fetch order).
+				out := append([]drec(nil), in...)
+				sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+				return out
+			},
+		},
+		{
 			name:    "distinct",
 			shuffle: true,
 			apply: func(r *RDD[drec], np int) *RDD[drec] {
@@ -336,6 +350,40 @@ func TestDifferentialFusedVsOracle(t *testing.T) {
 						t.Errorf("%s: fused cluster result diverges from oracle\n got (%d recs): %v\nwant (%d recs): %v",
 							name, len(got), got, len(want), want)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortByStableEqualKeys is the equal-key axis of the sort differential:
+// sorting by key alone leaves equal-key order undefined by less, and an
+// unstable partition-local sort let it vary with partition layout and sort
+// internals. The engine's contract is stronger — equal keys come out in
+// input order (stable local sorts over the shuffle's deterministic fetch
+// order) — so the exact output sequence must match a sequential stable sort
+// for every partitioning and under fault injection.
+func TestSortByStableEqualKeys(t *testing.T) {
+	data := diffData(200) // 13 key groups, ~15 records each, values unique per key
+	want := append([]drec(nil), data...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+	for _, parts := range []int{1, 3, 8} {
+		for _, np := range []int{1, 2, 5} {
+			for _, failureRate := range []float64{0, 0.3} {
+				cl := cluster.New(cluster.Config{
+					Executors: 2, CoresPerExecutor: 2,
+					FailureRate: failureRate, MaxTaskRetries: 80, Seed: 99,
+				})
+				ctx := NewContext(cl)
+				sorted := SortBy(Parallelize(ctx, data, parts).SetName("sortIn"),
+					func(a, b drec) bool { return a.Key < b.Key }, np)
+				got, err := sorted.Collect()
+				if err != nil {
+					t.Fatalf("parts=%d np=%d fail=%v: %v", parts, np, failureRate, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("parts=%d np=%d fail=%v: equal-key order diverges from stable oracle",
+						parts, np, failureRate)
 				}
 			}
 		}

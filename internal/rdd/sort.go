@@ -26,7 +26,11 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 		// fine.
 		numPartitions = 1
 	}
-	sort.Slice(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
+	// Stable sorts throughout: with only a partial order from less, an
+	// unstable sort makes equal-key output order depend on sort internals.
+	// Stability (plus the deterministic fetch order of the shuffle) pins
+	// equal keys to their input order, run after run.
+	sort.SliceStable(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
 	bounds := make([]T, 0, numPartitions-1)
 	for i := 1; i < numPartitions; i++ {
 		idx := i * len(sample) / numPartitions
@@ -92,7 +96,7 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 			for _, b := range blocks {
 				out = append(out, b.([]T)...)
 			}
-			sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+			sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
 			return out, nil
 		}, []func() error{runMapStage})
 }

@@ -45,6 +45,52 @@ func JaccardDistanceSortedIDs(a, b []uint32) float64 {
 	return 1 - JaccardSortedIDs(a, b)
 }
 
+// UnionSortedIDs merges sorted, deduplicated ID sets into one sorted,
+// deduplicated set. It is how a report's per-field token sets combine into
+// the single signature set the prefix-filtered candidate generator indexes.
+// The result is freshly allocated (nil when every input is empty).
+func UnionSortedIDs(sets ...[]uint32) []uint32 {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, total)
+	// Iterative two-way merge: with the three small per-field sets this
+	// beats a heap and keeps the code obvious.
+	for _, s := range sets {
+		if len(s) == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = append(out, s...)
+			continue
+		}
+		merged := make([]uint32, 0, len(out)+len(s))
+		i, j := 0, 0
+		for i < len(out) && j < len(s) {
+			switch {
+			case out[i] < s[j]:
+				merged = append(merged, out[i])
+				i++
+			case out[i] > s[j]:
+				merged = append(merged, s[j])
+				j++
+			default:
+				merged = append(merged, out[i])
+				i++
+				j++
+			}
+		}
+		merged = append(merged, out[i:]...)
+		merged = append(merged, s[j:]...)
+		out = merged
+	}
+	return out
+}
+
 // JaccardSimUpperBound bounds the Jaccard similarity of any two sets with
 // the given cardinalities: sim <= min(la, lb) / max(la, lb), since the
 // intersection is at most the smaller set and the union at least the

@@ -235,3 +235,62 @@ func BenchmarkJaccardSortedIDs(b *testing.B) {
 		JaccardSortedIDs(x, y)
 	}
 }
+
+func TestUnionSortedIDs(t *testing.T) {
+	cases := []struct {
+		sets [][]uint32
+		want []uint32
+	}{
+		{nil, nil},
+		{[][]uint32{nil, nil, nil}, nil},
+		{[][]uint32{{1, 3}, nil, {2}}, []uint32{1, 2, 3}},
+		{[][]uint32{{1, 2, 3}, {1, 2, 3}}, []uint32{1, 2, 3}},
+		{[][]uint32{{5}, {1}, {3}}, []uint32{1, 3, 5}},
+		{[][]uint32{{0, 7, 9}, {7, 8}, {0, 9, 10}}, []uint32{0, 7, 8, 9, 10}},
+	}
+	for _, c := range cases {
+		if got := UnionSortedIDs(c.sets...); !slices.Equal(got, c.want) {
+			t.Errorf("UnionSortedIDs(%v) = %v, want %v", c.sets, got, c.want)
+		}
+	}
+}
+
+func TestUnionSortedIDsRandomizedAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		sets := make([][]uint32, rng.Intn(5))
+		want := map[uint32]bool{}
+		for i := range sets {
+			raw := make([]uint8, rng.Intn(12))
+			rng.Read(raw)
+			sets[i] = sortedSet(raw)
+			for _, id := range sets[i] {
+				want[id] = true
+			}
+		}
+		got := UnionSortedIDs(sets...)
+		if len(got) != len(want) {
+			t.Fatalf("union of %v has %d ids, want %d", sets, len(got), len(want))
+		}
+		for i, id := range got {
+			if i > 0 && got[i-1] >= id {
+				t.Fatalf("union of %v not strictly increasing: %v", sets, got)
+			}
+			if !want[id] {
+				t.Fatalf("union of %v contains foreign id %d", sets, id)
+			}
+		}
+		// The result must be fresh storage: mutating it must not alias any
+		// input set.
+		if len(got) > 0 {
+			got[0] = ^uint32(0)
+			for _, s := range sets {
+				for _, id := range s {
+					if id == ^uint32(0) {
+						t.Fatal("UnionSortedIDs aliased an input slice")
+					}
+				}
+			}
+		}
+	}
+}
