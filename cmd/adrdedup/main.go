@@ -141,6 +141,8 @@ func runDetect(args []string) error {
 	speculation := fs.Bool("speculation", false, "speculatively re-launch straggler tasks (first completion wins)")
 	stragglerRate := fs.Float64("straggler-rate", 0, "deterministic straggler injection rate per task attempt")
 	stragglerMS := fs.Float64("straggler-ms", 0, "virtual slowdown charged to each injected straggler (ms; 0 = default)")
+	failExecutors := fs.Float64("fail-executors", 0, "deterministic executor-kill rate per stage submission (lost shuffle outputs are recomputed from lineage)")
+	maxStageRetries := fs.Int("max-stage-retries", 0, "stage resubmissions after shuffle fetch failures before aborting (0 = default)")
 	tracePath := fs.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
 	metricsPath := fs.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -173,11 +175,13 @@ func runDetect(args []string) error {
 	}
 	det, err := adrdedup.New(adrdedup.Options{
 		Cluster: cluster.Config{
-			Executors:          *executors,
-			Trace:              *tracePath != "",
-			Speculation:        *speculation,
-			StragglerRate:      *stragglerRate,
-			StragglerVirtualMS: *stragglerMS,
+			Executors:           *executors,
+			Trace:               *tracePath != "",
+			Speculation:         *speculation,
+			StragglerRate:       *stragglerRate,
+			StragglerVirtualMS:  *stragglerMS,
+			ExecutorFailureRate: *failExecutors,
+			MaxStageRetries:     *maxStageRetries,
 		},
 		Classifier:     core.Config{K: *k, B: *b, Theta: *theta},
 		Candidates:     strategy,

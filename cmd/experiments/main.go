@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] <table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|loadbalance|speculation|candidates|all>
+//	experiments [flags] <table1|table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|loadbalance|speculation|recovery|candidates|all>
 //
 // Pair counts default to one tenth of the paper's (100k-500k instead of
 // 1M-5M); -scale multiplies them back up (-scale 10 reproduces paper-scale
@@ -32,7 +32,7 @@ func main() {
 	metricsPath := flag.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
-		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation candidates all\n")
+		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation recovery candidates all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,10 +106,10 @@ func (r *runner) writeArtifacts() error {
 
 func (r *runner) run(exhibit string) error {
 	switch exhibit {
-	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "candidates":
+	case "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "recovery", "candidates":
 		return r.dispatch(exhibit)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "candidates"} {
+		for _, e := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "loadbalance", "speculation", "recovery", "candidates"} {
 			fmt.Printf("==================== %s ====================\n", e)
 			if err := r.dispatch(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
@@ -195,6 +195,8 @@ func (r *runner) dispatch(exhibit string) error {
 		return r.loadbalance()
 	case "speculation":
 		return r.speculation()
+	case "recovery":
+		return r.recovery()
 	case "candidates":
 		return r.candidates()
 	}
@@ -252,6 +254,31 @@ func (r *runner) speculation() error {
 			row.WastedTime.Round(time.Millisecond), row.Stragglers)
 	}
 	fmt.Printf("makespan reduction: %.2fx\n", experiments.SpeculationSpeedup(rows))
+	return nil
+}
+
+func (r *runner) recovery() error {
+	env, err := r.environment()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Recovery(env, experiments.RecoveryParams{Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Executor-loss recovery on the shuffle workload (clean vs deterministic kills)")
+	fmt.Printf("%-8s %16s %8s %12s %14s %14s\n",
+		"kills", "exec time", "lost", "fetch fails", "recomp tasks", "recomp stages")
+	for _, row := range rows {
+		mode := "off"
+		if row.Faulty {
+			mode = "on"
+		}
+		fmt.Printf("%-8s %16v %8d %12d %14d %14d\n",
+			mode, row.ExecutionTime.Round(time.Millisecond),
+			row.MapOutputsLost, row.FetchFailures, row.RecomputedTasks, row.RecomputedStages)
+	}
+	fmt.Printf("recovery overhead: %.2fx\n", experiments.RecoveryOverhead(rows))
 	return nil
 }
 

@@ -30,7 +30,15 @@ type blockEntry struct {
 	id    BlockID
 	data  any
 	bytes int64
+	// executor is the host whose loss drops this block; ReliableStorage
+	// marks blocks that survive executor failures (checkpoints, driver-
+	// side inserts).
+	executor int
 }
+
+// ReliableStorage is the executor argument for blocks that are not hosted on
+// any single executor and therefore survive executor loss.
+const ReliableStorage = -1
 
 func newBlockStore(capacity int64, c *Cluster) *BlockStore {
 	return &BlockStore{
@@ -65,13 +73,15 @@ func (b *BlockStore) traceBlock(kind EventKind, id BlockID, bytes int64) {
 	if !b.cluster.tracer.Enabled() {
 		return
 	}
-	b.cluster.tracer.Emit(Event{Kind: kind, Task: -1, Attempt: -1, Bytes: bytes,
+	b.cluster.tracer.Emit(Event{Kind: kind, Task: -1, Attempt: -1, Executor: -1, Bytes: bytes,
 		Detail: fmt.Sprintf("rdd%d/p%d", id.RDD, id.Partition)})
 }
 
-// Put caches a partition. Blocks larger than the whole store are rejected
-// (the partition stays recompute-only). Existing entries are replaced.
-func (b *BlockStore) Put(id BlockID, data any, bytes int64) bool {
+// Put caches a partition hosted on the given executor (ReliableStorage for
+// blocks that survive executor loss). Blocks larger than the whole store are
+// rejected (the partition stays recompute-only). Existing entries are
+// replaced, adopting the new host.
+func (b *BlockStore) Put(id BlockID, data any, bytes int64, executor int) bool {
 	if bytes > b.capacity {
 		return false
 	}
@@ -82,9 +92,10 @@ func (b *BlockStore) Put(id BlockID, data any, bytes int64) bool {
 		b.used += bytes - e.bytes
 		e.data = data
 		e.bytes = bytes
+		e.executor = executor
 		b.lru.MoveToFront(el)
 	} else {
-		e := &blockEntry{id: id, data: data, bytes: bytes}
+		e := &blockEntry{id: id, data: data, bytes: bytes, executor: executor}
 		b.index[id] = b.lru.PushFront(e)
 		b.used += bytes
 		b.cluster.metrics.BlocksCached.Add(1)
@@ -94,6 +105,31 @@ func (b *BlockStore) Put(id BlockID, data any, bytes int64) bool {
 		b.evictLocked()
 	}
 	return true
+}
+
+// InvalidateExecutor drops every cached partition hosted on executor e,
+// returning how many disappeared. Dropped partitions are recomputed from
+// lineage on the next read, exactly like evicted ones.
+func (b *BlockStore) InvalidateExecutor(e int) int {
+	if e == ReliableStorage {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for el := b.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		be := el.Value.(*blockEntry)
+		if be.executor != e {
+			continue
+		}
+		b.lru.Remove(el)
+		delete(b.index, be.id)
+		b.used -= be.bytes
+		n++
+	}
+	return n
 }
 
 // evictLocked removes the least-recently-used block. Callers hold b.mu.

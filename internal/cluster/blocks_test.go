@@ -9,7 +9,7 @@ func TestBlockStorePutGet(t *testing.T) {
 	if _, ok := bs.Get(id); ok {
 		t.Fatal("empty store returned a block")
 	}
-	if !bs.Put(id, []int{1, 2, 3}, 100) {
+	if !bs.Put(id, []int{1, 2, 3}, 100, 0) {
 		t.Fatal("Put rejected a small block")
 	}
 	got, ok := bs.Get(id)
@@ -28,8 +28,8 @@ func TestBlockStoreReplace(t *testing.T) {
 	c := New(Config{Executors: 1, MemoryPerExecutorMB: 1})
 	bs := c.Blocks()
 	id := BlockID{RDD: 1, Partition: 0}
-	bs.Put(id, "a", 100)
-	bs.Put(id, "b", 200)
+	bs.Put(id, "a", 100, 0)
+	bs.Put(id, "b", 200, 0)
 	if bs.Used() != 200 || bs.Len() != 1 {
 		t.Errorf("after replace Used=%d Len=%d, want 200, 1", bs.Used(), bs.Len())
 	}
@@ -45,8 +45,8 @@ func TestBlockStoreLRUEviction(t *testing.T) {
 	half := int64(600 << 10) // 600KB; two don't fit
 	a := BlockID{RDD: 1, Partition: 0}
 	b := BlockID{RDD: 1, Partition: 1}
-	bs.Put(a, "a", half)
-	bs.Put(b, "b", half) // evicts a (LRU)
+	bs.Put(a, "a", half, 0)
+	bs.Put(b, "b", half, 0) // evicts a (LRU)
 	if _, ok := bs.Get(a); ok {
 		t.Error("block a should have been evicted")
 	}
@@ -65,10 +65,10 @@ func TestBlockStoreLRURecencyOrder(t *testing.T) {
 	a := BlockID{RDD: 1, Partition: 0}
 	b := BlockID{RDD: 1, Partition: 1}
 	d := BlockID{RDD: 1, Partition: 2}
-	bs.Put(a, "a", third)
-	bs.Put(b, "b", third)
-	bs.Get(a)             // touch a: now b is LRU
-	bs.Put(d, "d", third) // evicts b
+	bs.Put(a, "a", third, 0)
+	bs.Put(b, "b", third, 0)
+	bs.Get(a)                // touch a: now b is LRU
+	bs.Put(d, "d", third, 0) // evicts b
 	if _, ok := bs.Get(b); ok {
 		t.Error("b should have been evicted (LRU after touch of a)")
 	}
@@ -80,7 +80,7 @@ func TestBlockStoreLRURecencyOrder(t *testing.T) {
 func TestBlockStoreRejectsOversized(t *testing.T) {
 	c := New(Config{Executors: 1, MemoryPerExecutorMB: 1})
 	bs := c.Blocks()
-	if bs.Put(BlockID{RDD: 1}, "x", bs.Capacity()+1) {
+	if bs.Put(BlockID{RDD: 1}, "x", bs.Capacity()+1, 0) {
 		t.Error("Put should reject blocks larger than capacity")
 	}
 }
@@ -90,8 +90,8 @@ func TestBlockStoreRemoveAndDropAll(t *testing.T) {
 	bs := c.Blocks()
 	a := BlockID{RDD: 1, Partition: 0}
 	b := BlockID{RDD: 1, Partition: 1}
-	bs.Put(a, "a", 10)
-	bs.Put(b, "b", 10)
+	bs.Put(a, "a", 10, 0)
+	bs.Put(b, "b", 10, 0)
 	bs.Remove(a)
 	if _, ok := bs.Get(a); ok {
 		t.Error("a not removed")
@@ -110,7 +110,7 @@ func TestBlockStoreConcurrentAccess(t *testing.T) {
 	bs := c.Blocks()
 	_, err := c.RunStage("hammer", 32, func(tc *TaskContext) error {
 		id := BlockID{RDD: tc.Task() % 8, Partition: tc.Task() % 4}
-		bs.Put(id, tc.Task(), 1000)
+		bs.Put(id, tc.Task(), 1000, 0)
 		bs.Get(id)
 		return nil
 	})

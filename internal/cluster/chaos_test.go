@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -162,11 +163,14 @@ func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
 		case 1:
 			in := state
 			shID := c.Shuffles().Register()
-			_, err := c.RunStage(fmt.Sprintf("chaos.shufmap#%d", oi), len(in), func(tc *TaskContext) error {
-				part := in[tc.Task()]
-				tc.AddRecords(int64(len(part)))
+			// mapOutput writes one parent partition's buckets under an
+			// explicit map-task identity so executor-loss recomputation
+			// reproduces the original block keys.
+			mapOutput := func(tc *TaskContext, part int) error {
+				vals := in[part]
+				tc.AddRecords(int64(len(vals)))
 				buckets := make([][]int64, op.newParts)
-				for _, v := range part {
+				for _, v := range vals {
 					b := int(v % int64(op.newParts))
 					buckets[b] = append(buckets[b], v)
 				}
@@ -174,17 +178,31 @@ func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
 					if len(bucket) == 0 {
 						continue
 					}
-					tc.WriteShuffle(shID, b, bucket, int64(len(bucket)), int64(len(bucket))*8)
+					tc.WriteShuffleAs(shID, b, part, bucket, int64(len(bucket)), int64(len(bucket))*8)
 				}
 				return nil
+			}
+			c.Shuffles().SetRecompute(shID, func(lost []int) error {
+				_, rerr := c.RunRecoveryStage(fmt.Sprintf("chaos.shufmap#%d.recompute", oi),
+					len(lost), func(tc *TaskContext) error {
+						return mapOutput(tc, lost[tc.Task()])
+					})
+				return rerr
+			})
+			_, err := c.RunStage(fmt.Sprintf("chaos.shufmap#%d", oi), len(in), func(tc *TaskContext) error {
+				return mapOutput(tc, tc.Task())
 			})
 			if err != nil {
 				return nil, nil, err
 			}
 			c.Shuffles().MarkDone(shID)
 			results, _, err := c.RunStageResults(fmt.Sprintf("chaos.reduce#%d", oi), op.newParts, func(tc *TaskContext) error {
+				blocks, ferr := tc.FetchShuffle(shID, tc.Task())
+				if ferr != nil {
+					return ferr
+				}
 				var out []int64
-				for _, blk := range tc.FetchShuffle(shID, tc.Task()) {
+				for _, blk := range blocks {
 					out = append(out, blk.([]int64)...)
 				}
 				tc.AddRecords(int64(len(out)))
@@ -223,12 +241,13 @@ func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
 // is set high enough that retry exhaustion is effectively impossible, so
 // pass/fail stays deterministic per seed (a speculative chain rescuing an
 // exhausted primary would otherwise depend on real-time racing).
-func chaosConfig(seed int64, executors int, failureRate float64, stragglers, speculation bool) Config {
+func chaosConfig(seed int64, executors int, failureRate, execFail float64, stragglers, speculation bool) Config {
 	cfg := Config{
 		Executors:             executors,
 		CoresPerExecutor:      1,
 		Seed:                  seed,
 		FailureRate:           failureRate,
+		ExecutorFailureRate:   execFail,
 		MaxTaskRetries:        12,
 		Speculation:           speculation,
 		SpeculationQuantile:   0.5,
@@ -255,10 +274,15 @@ func int64sEqual(a, b []int64) bool {
 }
 
 // TestChaos is the deterministic chaos harness: 10 seeded programs x
-// {1,4,8 executors} x {fault injection off/on} x {stragglers off/on} x
-// {speculation off/on} = 240 combinations, every one bit-identical to the
-// sequential oracle. Short mode trims the seed set, keeping the full grid
-// shape.
+// {1,4,8 executors} x {fault injection off/on} x {executor kills off/on} x
+// {stragglers off/on} x {speculation off/on} = 480 combinations, every one
+// bit-identical to the sequential oracle. Executor kills exercise the full
+// recovery path — host-local shuffle loss, FetchFailed, lineage
+// resubmission — and the committed counters must still match the oracle
+// exactly: patch-up recomputation runs in recovery mode and contributes no
+// work-counter deltas. A combo that exhausts MaxStageRetries must fail with
+// the typed StageAbortedError, and must fail identically when re-run. Short
+// mode trims the seed set, keeping the full grid shape.
 func TestChaos(t *testing.T) {
 	seeds := 10
 	if testing.Short() {
@@ -269,56 +293,71 @@ func TestChaos(t *testing.T) {
 		want := chaosOracle(prog)
 		for _, executors := range []int{1, 4, 8} {
 			for _, failureRate := range []float64{0, 0.3} {
-				for _, stragglers := range []bool{false, true} {
-					for _, speculation := range []bool{false, true} {
-						name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/strag=%v/spec=%v",
-							seed, executors, failureRate, stragglers, speculation)
-						cfg := chaosConfig(seed, executors, failureRate, stragglers, speculation)
-						t.Run(name, func(t *testing.T) {
-							t.Parallel()
-							c := New(cfg)
-							state, sums, err := runChaosProgram(c, prog)
-							if err != nil {
-								t.Fatalf("program failed: %v", err)
-							}
-							if len(state) != len(want.finalState) {
-								t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
-							}
-							for i := range state {
-								if !int64sEqual(state[i], want.finalState[i]) {
-									t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+				for _, execFail := range []float64{0, 0.3} {
+					for _, stragglers := range []bool{false, true} {
+						for _, speculation := range []bool{false, true} {
+							name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/kill=%v/strag=%v/spec=%v",
+								seed, executors, failureRate, execFail, stragglers, speculation)
+							cfg := chaosConfig(seed, executors, failureRate, execFail, stragglers, speculation)
+							t.Run(name, func(t *testing.T) {
+								t.Parallel()
+								c := New(cfg)
+								state, sums, err := runChaosProgram(c, prog)
+								if err != nil {
+									if execFail == 0 {
+										t.Fatalf("program failed without executor kills: %v", err)
+									}
+									// Retry exhaustion is the only legitimate
+									// failure, it must carry the typed abort,
+									// and it must reproduce exactly.
+									if !errors.Is(err, ErrStageAborted) {
+										t.Fatalf("program failed without typed stage abort: %v", err)
+									}
+									_, _, err2 := runChaosProgram(New(cfg), prog)
+									if err2 == nil || err.Error() != err2.Error() {
+										t.Fatalf("abort not deterministic:\n  first: %v\n second: %v", err, err2)
+									}
+									return
 								}
-							}
-							for i := range sums {
-								if sums[i] != want.finalResults[i] {
-									t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+								if len(state) != len(want.finalState) {
+									t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
 								}
-							}
-							m := c.Metrics().Snapshot()
-							// Counters are commit-gated: retried, cancelled,
-							// and speculation-losing attempts must not leak.
-							if m.RecordsProcessed != want.records {
-								t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
-							}
-							if m.Comparisons != want.comparisons {
-								t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
-							}
-							if m.ShuffleRecordsWritten != want.shufRecords {
-								t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
-							}
-							if m.ShuffleBytesWritten != want.shufWritten {
-								t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
-							}
-							if m.ShuffleBytesRead != want.shufRead {
-								t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
-							}
-							if !stragglers && m.StragglersInjected != 0 {
-								t.Errorf("StragglersInjected = %d with injection off", m.StragglersInjected)
-							}
-							if !speculation && m.SpeculativeTasksLaunched != 0 {
-								t.Errorf("SpeculativeTasksLaunched = %d with speculation off", m.SpeculativeTasksLaunched)
-							}
-						})
+								for i := range state {
+									if !int64sEqual(state[i], want.finalState[i]) {
+										t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+									}
+								}
+								for i := range sums {
+									if sums[i] != want.finalResults[i] {
+										t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+									}
+								}
+								m := c.Metrics().Snapshot()
+								// Counters are commit-gated: retried, cancelled,
+								// and speculation-losing attempts must not leak.
+								if m.RecordsProcessed != want.records {
+									t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
+								}
+								if m.Comparisons != want.comparisons {
+									t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
+								}
+								if m.ShuffleRecordsWritten != want.shufRecords {
+									t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
+								}
+								if m.ShuffleBytesWritten != want.shufWritten {
+									t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
+								}
+								if m.ShuffleBytesRead != want.shufRead {
+									t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
+								}
+								if !stragglers && m.StragglersInjected != 0 {
+									t.Errorf("StragglersInjected = %d with injection off", m.StragglersInjected)
+								}
+								if !speculation && m.SpeculativeTasksLaunched != 0 {
+									t.Errorf("SpeculativeTasksLaunched = %d with speculation off", m.SpeculativeTasksLaunched)
+								}
+							})
+						}
 					}
 				}
 			}
@@ -327,10 +366,10 @@ func TestChaos(t *testing.T) {
 }
 
 // TestChaosComboCount pins the harness's combination count to the
-// acceptance floor (>= 200 in full mode).
+// acceptance floor (>= 240 in full mode).
 func TestChaosComboCount(t *testing.T) {
-	combos := 10 * 3 * 2 * 2 * 2
-	if combos < 200 {
-		t.Fatalf("chaos grid has %d combos, need >= 200", combos)
+	combos := 10 * 3 * 2 * 2 * 2 * 2
+	if combos < 240 {
+		t.Fatalf("chaos grid has %d combos, need >= 240", combos)
 	}
 }

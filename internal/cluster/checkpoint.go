@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CheckpointStore models reliable (HDFS-like) storage for materialized RDD
+// partitions. Unlike the executor-hosted block cache and shuffle outputs, a
+// checkpointed partition survives executor loss: rdd.Checkpoint encodes each
+// partition here and truncates the RDD's lineage, so later recomputation —
+// cache eviction, executor-kill recovery — replays from the checkpoint
+// instead of the full upstream chain.
+type CheckpointStore struct {
+	cluster *Cluster
+	mu      sync.Mutex
+	blocks  map[BlockID][]byte
+}
+
+func newCheckpointStore(c *Cluster) *CheckpointStore {
+	return &CheckpointStore{cluster: c, blocks: make(map[BlockID][]byte)}
+}
+
+// Put stores one encoded partition, replacing any previous version.
+func (s *CheckpointStore) Put(id BlockID, encoded []byte) {
+	s.mu.Lock()
+	_, replaced := s.blocks[id]
+	s.blocks[id] = encoded
+	s.mu.Unlock()
+	if !replaced {
+		s.cluster.metrics.CheckpointedPartitions.Add(1)
+	}
+	s.cluster.metrics.CheckpointBytes.Add(int64(len(encoded)))
+	if s.cluster.tracer.Enabled() {
+		s.cluster.tracer.Emit(Event{Kind: EventCheckpoint, Task: -1, Attempt: -1,
+			Executor: ReliableStorage, Bytes: int64(len(encoded)),
+			Detail: fmt.Sprintf("rdd%d/p%d", id.RDD, id.Partition)})
+	}
+}
+
+// Get returns the encoded partition and whether it is present.
+func (s *CheckpointStore) Get(id BlockID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[id]
+	return b, ok
+}
+
+// Len returns the number of checkpointed partitions.
+func (s *CheckpointStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// Checkpoints exposes the cluster's reliable checkpoint storage.
+func (c *Cluster) Checkpoints() *CheckpointStore { return c.checkpoints }

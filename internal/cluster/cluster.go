@@ -77,6 +77,31 @@ type Config struct {
 	SchedulerOverheadMS float64
 	// FailureRate is the probability that any given task attempt fails.
 	FailureRate float64
+	// ExecutorFailureRate is the probability, drawn deterministically per
+	// (seed, stage submission, executor), that a live executor is killed
+	// when a stage is submitted. A killed executor's slots drain and its
+	// committed shuffle map outputs and cached partitions are dropped;
+	// downstream fetches of the lost outputs fail with FetchFailedError
+	// and trigger lineage resubmission. The last live executor is never
+	// killed.
+	ExecutorFailureRate float64
+	// MaxStageRetries bounds how many times one stage may be resubmitted
+	// after fetch failures before it aborts with a *StageAbortedError.
+	// 0 selects the default 4.
+	MaxStageRetries int
+	// ExecutorRecoveryStages is how many stage submissions a killed
+	// executor stays out of the pool before a replacement rejoins
+	// (pre-blacklist). 0 selects the default 1.
+	ExecutorRecoveryStages int
+	// BlacklistAfterFailures is the lifetime failure count at which an
+	// executor is blacklisted: beyond plain recovery, each further loss
+	// serves an exponentially growing backoff before re-admission.
+	// 0 selects the default 3.
+	BlacklistAfterFailures int
+	// BlacklistBackoffStages is the base backoff, in stage submissions,
+	// of a freshly blacklisted executor; it doubles per additional
+	// failure. 0 selects the default 4.
+	BlacklistBackoffStages int
 	// MaxTaskRetries bounds the retries after a task's first attempt: a
 	// task runs at most 1+MaxTaskRetries attempts before the stage fails
 	// with ErrTaskFailed. Injected failures, pressure timeouts, and
@@ -185,6 +210,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxTaskRetries <= 0 {
 		c.MaxTaskRetries = 4
 	}
+	if c.MaxStageRetries <= 0 {
+		c.MaxStageRetries = 4
+	}
+	if c.ExecutorRecoveryStages <= 0 {
+		c.ExecutorRecoveryStages = 1
+	}
+	if c.BlacklistAfterFailures <= 0 {
+		c.BlacklistAfterFailures = 3
+	}
+	if c.BlacklistBackoffStages <= 0 {
+		c.BlacklistBackoffStages = 4
+	}
 	if c.SpillPenalty < 1 {
 		c.SpillPenalty = 3
 	}
@@ -229,20 +266,24 @@ type Cluster struct {
 	mu           sync.Mutex
 	virtualNS    float64
 	stageCounter int
+	execs        []executorMeta
 
-	blocks   *BlockStore
-	shuffles *ShuffleService
-	metrics  *Metrics
-	history  stageHistory
-	tracer   *Tracer
+	blocks      *BlockStore
+	shuffles    *ShuffleService
+	checkpoints *CheckpointStore
+	metrics     *Metrics
+	history     stageHistory
+	tracer      *Tracer
 }
 
 // New creates a cluster with the given configuration.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg}
+	c.execs = make([]executorMeta, cfg.Executors)
 	c.blocks = newBlockStore(int64(cfg.Executors)*int64(cfg.MemoryPerExecutorMB)*mb, c)
 	c.shuffles = newShuffleService()
+	c.checkpoints = newCheckpointStore(c)
 	c.metrics = &Metrics{}
 	c.tracer = NewTracer(cfg.TraceCapacity)
 	if cfg.Trace {
@@ -310,6 +351,9 @@ type StageStats struct {
 	WastedDuration time.Duration
 	// Stragglers counts injected straggler attempts across the stage.
 	Stragglers int
+	// Resubmits counts lineage-recovery resubmissions of the stage after
+	// shuffle fetch failures (0 for a clean run).
+	Resubmits int
 	// TaskStats breaks the stage down per task, including the virtual
 	// slot each task was list-scheduled onto.
 	TaskStats []TaskStat
@@ -324,6 +368,9 @@ type TaskStat struct {
 	// Slot is the virtual executor slot (0..Executors*CoresPerExecutor-1)
 	// the task's primary chain was list-scheduled onto.
 	Slot int
+	// Executor is the live executor the primary chain was placed on; its
+	// hosted output dies with that executor.
+	Executor int
 	// SpecSlot is the slot the speculative copy was charged to, -1 when
 	// the task was not speculated (or its copy never started in the
 	// virtual schedule).
@@ -353,12 +400,47 @@ type TaskStat struct {
 // ErrTaskFailed is returned when a task exhausts its retry budget.
 var ErrTaskFailed = errors.New("cluster: task failed after max retries")
 
+// ErrStageAborted is the sentinel under every *StageAbortedError, so callers
+// can errors.Is a stage failure to detect exhausted (or impossible) lineage
+// recovery.
+var ErrStageAborted = errors.New("cluster: stage aborted: lineage recovery exhausted")
+
+// StageAbortedError reports that a stage could not be completed by lineage
+// resubmission: either MaxStageRetries resubmissions were already spent, or
+// a lost shuffle had no registered recompute callback. Cause carries the
+// terminal fetch failure (or patch-up error).
+type StageAbortedError struct {
+	Stage     string
+	StageID   int
+	Resubmits int
+	Cause     error
+}
+
+func (e *StageAbortedError) Error() string {
+	return fmt.Sprintf("stage %q (id %d) aborted after %d resubmissions: %v",
+		e.Stage, e.StageID, e.Resubmits, e.Cause)
+}
+
+func (e *StageAbortedError) Unwrap() []error { return []error{ErrStageAborted, e.Cause} }
+
 // RunStage executes numTasks tasks, each invoking run with a fresh
 // TaskContext. Tasks run really in parallel (bounded by RealParallelism) and
 // their virtual durations are list-scheduled onto the configured executor
 // slots to advance the cluster's virtual clock.
 func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) error) (StageStats, error) {
-	_, stats, err := c.runStage(name, numTasks, run, false)
+	_, stats, err := c.runStage(name, numTasks, run, false, false)
+	return stats, err
+}
+
+// RunRecoveryStage runs a patch-up stage that regenerates output lost with a
+// failed executor (the recompute callbacks registered via
+// ShuffleService.SetRecompute use it). Its tasks' commit-gated side effects
+// land normally — the lost blocks must come back — but their work-counter
+// deltas are not re-added to the metrics registry: the output was already
+// counted when it first committed, and recovery cost is accounted
+// separately through RecomputedTasks/RecomputedStages and virtual time.
+func (c *Cluster) RunRecoveryStage(name string, numTasks int, run func(tc *TaskContext) error) (StageStats, error) {
+	_, stats, err := c.runStage(name, numTasks, run, false, true)
 	return stats, err
 }
 
@@ -368,19 +450,48 @@ func (c *Cluster) RunStage(name string, numTasks int, run func(tc *TaskContext) 
 // rival attempts of a task may run concurrently; collecting results through
 // the commit gate keeps exactly one writer per task.
 func (c *Cluster) RunStageResults(name string, numTasks int, run func(tc *TaskContext) error) ([]any, StageStats, error) {
-	return c.runStage(name, numTasks, run, true)
+	return c.runStage(name, numTasks, run, true, false)
 }
 
-func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) error, collect bool) ([]any, StageStats, error) {
+func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) error, collect, recovery bool) ([]any, StageStats, error) {
 	c.mu.Lock()
 	c.stageCounter++
 	stageID := c.stageCounter
 	c.mu.Unlock()
-	c.tracer.Emit(Event{Kind: EventStageStart, Stage: name, StageID: stageID, Task: -1, Attempt: -1})
+	c.tracer.Emit(Event{Kind: EventStageStart, Stage: name, StageID: stageID, Task: -1, Attempt: -1, Executor: -1})
 
 	start := time.Now()
-	sr := c.newStageRun(stageID, name, numTasks, run, collect)
-	sr.execute()
+	sr := c.newStageRun(stageID, name, numTasks, run, collect, recovery)
+
+	// The stage loop: each submission point first draws the deterministic
+	// executor-kill decisions, then runs every not-yet-committed task on
+	// the surviving executors. Attempts that die on a FetchFailedError
+	// (their shuffle read touched map outputs lost with an executor) do
+	// not fail the stage; instead the lost map partitions are recomputed
+	// from lineage via the shuffle's recompute callback and the stage is
+	// resubmitted, up to MaxStageRetries times before aborting with a
+	// typed *StageAbortedError.
+	var abortErr error
+	resubmits := 0
+	for {
+		sr.live = c.injectExecutorFailures(stageID, resubmits)
+		sr.executeAttempt()
+		failed := sr.fetchFailures()
+		if len(failed) == 0 {
+			break
+		}
+		if resubmits >= c.cfg.MaxStageRetries {
+			abortErr = &StageAbortedError{Stage: name, StageID: stageID,
+				Resubmits: resubmits, Cause: failed[0]}
+			break
+		}
+		resubmits++
+		if err := c.repairShuffles(name, stageID, resubmits, failed); err != nil {
+			abortErr = err
+			break
+		}
+		sr.resetForResubmit()
+	}
 
 	stats := StageStats{
 		Name:         name,
@@ -388,12 +499,14 @@ func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) 
 		RealDuration: time.Since(start),
 		TaskStats:    make([]TaskStat, numTasks),
 	}
+	stats.Resubmits = resubmits
 	var firstErr error
 	anySpec := false
 	for i := range sr.states {
 		st := &sr.states[i]
 		ts := &stats.TaskStats[i]
 		ts.Task = i
+		ts.Executor = st.executor
 		ts.Attempts = st.primary.attempts + st.spec.attempts
 		ts.Failures = st.primary.failures + st.spec.failures
 		ts.ComputeDuration = time.Duration(st.primary.computeNS + st.spec.computeNS)
@@ -424,7 +537,19 @@ func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) 
 			firstErr = fmt.Errorf("stage %q task %d: %w", name, i, err)
 		}
 	}
+	if abortErr != nil {
+		// Exhausted lineage recovery outranks the per-task fetch errors
+		// the final attempt left behind.
+		firstErr = abortErr
+	}
 
+	// The virtual schedule places tasks onto the slots of the executors
+	// that survived to the stage's final attempt: losing hosts shrinks the
+	// stage's effective parallelism.
+	liveSlots := len(sr.live) * c.cfg.CoresPerExecutor
+	if liveSlots < 1 {
+		liveSlots = c.SlotCount()
+	}
 	var makespanNS float64
 	if !anySpec {
 		// No speculative copies actually ran: the plain list schedule,
@@ -434,7 +559,7 @@ func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) 
 			durations[i] = sr.states[i].primary.virtualNS
 		}
 		var slots []int
-		makespanNS, slots = c.listScheduleSlots(durations)
+		makespanNS, slots = c.listScheduleSlotsN(durations, liveSlots)
 		for i := range stats.TaskStats {
 			stats.TaskStats[i].Slot = slots[i]
 			stats.TaskStats[i].VirtualDuration = time.Duration(durations[i])
@@ -451,7 +576,7 @@ func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) 
 			}
 		}
 		var places []specPlacement
-		makespanNS, places = c.speculativeSchedule(inputs)
+		makespanNS, places = c.speculativeScheduleN(inputs, liveSlots)
 		for i, p := range places {
 			ts := &stats.TaskStats[i]
 			ts.Slot = p.slot
@@ -487,13 +612,51 @@ func (c *Cluster) runStage(name string, numTasks int, run func(tc *TaskContext) 
 	c.history.add(stats)
 	if c.tracer.Enabled() {
 		e := Event{Kind: EventStageEnd, Stage: name, StageID: stageID,
-			Task: -1, Attempt: -1, VirtualNS: makespanNS + overheadNS}
+			Task: -1, Attempt: -1, Executor: -1, VirtualNS: makespanNS + overheadNS}
 		if firstErr != nil {
 			e.Detail = firstErr.Error()
 		}
 		c.tracer.Emit(e)
 	}
 	return sr.results, stats, firstErr
+}
+
+// repairShuffles handles one round of fetch failures: for every shuffle the
+// failed stage attempt could not read, it recomputes exactly the lost map
+// partitions through the recompute callback the producing layer registered,
+// then the caller resubmits the stage. A shuffle without a callback is
+// unrecoverable and aborts the stage with a typed error.
+func (c *Cluster) repairShuffles(name string, stageID, resubmit int, failures []*FetchFailedError) error {
+	// One repair per shuffle even if many reduce tasks tripped on it.
+	seen := make(map[int]bool)
+	for _, ff := range failures {
+		if seen[ff.ShuffleID] {
+			continue
+		}
+		seen[ff.ShuffleID] = true
+		lost := c.shuffles.LostMapTasks(ff.ShuffleID)
+		if len(lost) == 0 {
+			continue // repaired already (shared parent fixed in an inner stage)
+		}
+		rec := c.shuffles.recomputeFor(ff.ShuffleID)
+		if rec == nil {
+			return &StageAbortedError{Stage: name, StageID: stageID, Resubmits: resubmit - 1,
+				Cause: fmt.Errorf("shuffle %d has no recompute callback: %w", ff.ShuffleID, ff)}
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(Event{Kind: EventStageResubmit, Stage: name, StageID: stageID,
+				Task: -1, Attempt: -1, Executor: -1,
+				Detail: fmt.Sprintf("resubmit %d: recomputing %d lost map outputs of shuffle %d",
+					resubmit, len(lost), ff.ShuffleID)})
+		}
+		c.metrics.RecomputedStages.Add(1)
+		if err := rec(lost); err != nil {
+			return &StageAbortedError{Stage: name, StageID: stageID, Resubmits: resubmit - 1,
+				Cause: fmt.Errorf("recomputing shuffle %d map outputs %v: %w", ff.ShuffleID, lost, err)}
+		}
+		c.metrics.RecomputedTasks.Add(int64(len(lost)))
+	}
+	return nil
 }
 
 // injectFailure decides deterministically whether the given attempt fails.
@@ -540,7 +703,7 @@ func (c *Cluster) Broadcast(bytes int64) {
 	c.virtualNS += perHop * depth
 	c.mu.Unlock()
 	c.metrics.BroadcastBytes.Add(bytes)
-	c.tracer.Emit(Event{Kind: EventBroadcast, Task: -1, Attempt: -1,
+	c.tracer.Emit(Event{Kind: EventBroadcast, Task: -1, Attempt: -1, Executor: -1,
 		Bytes: bytes, VirtualNS: perHop * depth})
 }
 

@@ -96,8 +96,9 @@ func TestShuffleCommitOnSuccessOnly(t *testing.T) {
 	c.Shuffles().MarkDone(sh)
 	var got []any
 	_, err = c.RunStage("reduce", 1, func(tc *TaskContext) error {
-		got = tc.FetchShuffle(sh, 0)
-		return nil
+		var ferr error
+		got, ferr = tc.FetchShuffle(sh, 0)
+		return ferr
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -128,8 +129,8 @@ func TestShuffleFetchChargesVirtualTime(t *testing.T) {
 	}
 	before := c.VirtualElapsed()
 	_, err = c.RunStage("reduce", 1, func(tc *TaskContext) error {
-		tc.FetchShuffle(sh, 0)
-		return nil
+		_, ferr := tc.FetchShuffle(sh, 0)
+		return ferr
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -33,6 +33,27 @@ type Metrics struct {
 	SpeculativeWins          atomic.Int64
 	SpeculativeWastedNS      atomic.Int64
 	StragglersInjected       atomic.Int64
+
+	// Executor-loss recovery counters. ExecutorFailures counts injected
+	// (or operator-triggered) executor kills; MapOutputsLost the shuffle
+	// map outputs dropped with them; ExecutorsBlacklisted the kills that
+	// pushed an executor over the repeated-failure threshold into backoff.
+	// FetchFailures counts reduce-stage attempts aborted by lost map
+	// outputs; RecomputedStages the lineage patch-up resubmissions run in
+	// response; RecomputedTasks the lost map partitions those patch-ups
+	// regenerated (never more than MapOutputsLost — recovery recomputes
+	// only what was actually lost). CheckpointedPartitions and
+	// CheckpointBytes count partitions materialized to reliable storage by
+	// rdd.Checkpoint, which truncates lineage so recovery replays from the
+	// checkpoint instead of the full chain.
+	ExecutorFailures       atomic.Int64
+	MapOutputsLost         atomic.Int64
+	ExecutorsBlacklisted   atomic.Int64
+	FetchFailures          atomic.Int64
+	RecomputedStages       atomic.Int64
+	RecomputedTasks        atomic.Int64
+	CheckpointedPartitions atomic.Int64
+	CheckpointBytes        atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -57,6 +78,15 @@ type MetricsSnapshot struct {
 	SpeculativeWins          int64
 	SpeculativeWastedNS      int64
 	StragglersInjected       int64
+
+	ExecutorFailures       int64
+	MapOutputsLost         int64
+	ExecutorsBlacklisted   int64
+	FetchFailures          int64
+	RecomputedStages       int64
+	RecomputedTasks        int64
+	CheckpointedPartitions int64
+	CheckpointBytes        int64
 }
 
 // Snapshot copies the current counter values.
@@ -82,6 +112,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SpeculativeWins:          m.SpeculativeWins.Load(),
 		SpeculativeWastedNS:      m.SpeculativeWastedNS.Load(),
 		StragglersInjected:       m.StragglersInjected.Load(),
+
+		ExecutorFailures:       m.ExecutorFailures.Load(),
+		MapOutputsLost:         m.MapOutputsLost.Load(),
+		ExecutorsBlacklisted:   m.ExecutorsBlacklisted.Load(),
+		FetchFailures:          m.FetchFailures.Load(),
+		RecomputedStages:       m.RecomputedStages.Load(),
+		RecomputedTasks:        m.RecomputedTasks.Load(),
+		CheckpointedPartitions: m.CheckpointedPartitions.Load(),
+		CheckpointBytes:        m.CheckpointBytes.Load(),
 	}
 }
 
@@ -106,4 +145,12 @@ func (m *Metrics) Reset() {
 	m.SpeculativeWins.Store(0)
 	m.SpeculativeWastedNS.Store(0)
 	m.StragglersInjected.Store(0)
+	m.ExecutorFailures.Store(0)
+	m.MapOutputsLost.Store(0)
+	m.ExecutorsBlacklisted.Store(0)
+	m.FetchFailures.Store(0)
+	m.RecomputedStages.Store(0)
+	m.RecomputedTasks.Store(0)
+	m.CheckpointedPartitions.Store(0)
+	m.CheckpointBytes.Store(0)
 }

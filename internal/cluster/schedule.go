@@ -109,7 +109,13 @@ func (c *Cluster) listSchedule(durations []float64) float64 {
 // listScheduleSlots is listSchedule returning also the slot each task was
 // placed on, indexed by the task's original (submission-order) position.
 func (c *Cluster) listScheduleSlots(durations []float64) (float64, []int) {
-	slots := c.SlotCount()
+	return c.listScheduleSlotsN(durations, c.SlotCount())
+}
+
+// listScheduleSlotsN is listScheduleSlots over an explicit slot count — the
+// stage scheduler passes the surviving executors' slots, so a stage that
+// lost hosts schedules onto the shrunken pool.
+func (c *Cluster) listScheduleSlotsN(durations []float64, slots int) (float64, []int) {
 	if slots < 1 {
 		slots = 1
 	}
@@ -199,8 +205,13 @@ func eventBefore(a, b simEvent) bool {
 // least one speculative copy; stages without speculation keep the plain
 // (bit-identical to pre-speculation) list schedule.
 func (c *Cluster) speculativeSchedule(tasks []specTaskInput) (float64, []specPlacement) {
+	return c.speculativeScheduleN(tasks, c.SlotCount())
+}
+
+// speculativeScheduleN is speculativeSchedule over an explicit slot count
+// (the surviving executors' slots after any kills).
+func (c *Cluster) speculativeScheduleN(tasks []specTaskInput, slots int) (float64, []specPlacement) {
 	n := len(tasks)
-	slots := c.SlotCount()
 	if slots < 1 {
 		slots = 1
 	}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -17,13 +19,40 @@ import (
 // blocks sorted by that key, which makes reduce-side input order (and hence
 // downstream partition contents) deterministic regardless of the real-time
 // order in which map tasks committed.
+//
+// Unlike the pre-recovery service, blocks are host-local: every committed
+// block records the executor that produced it, and losing an executor
+// invalidates exactly its blocks. A reduce-side fetch that touches a lost
+// map output fails with *FetchFailedError naming the missing map tasks, and
+// the stage scheduler repairs the shuffle through the recompute callback the
+// producing RDD registered (SetRecompute) before resubmitting the reduce
+// stage — Spark's MapOutputTracker + lineage resubmission protocol.
 type ShuffleService struct {
-	mu     sync.Mutex
-	nextID int
-	// blocks[shuffleID][reduceID] maps each (map task, seq) key to its
-	// committed bucket for that reduce partition.
-	blocks map[int]map[int]map[blockKey]shuffleBlock
-	done   map[int]bool
+	mu       sync.Mutex
+	nextID   int
+	shuffles map[int]*shuffleState
+}
+
+// shuffleState is one registered shuffle's block and availability tracking.
+type shuffleState struct {
+	done bool
+	// buckets[reduceID] maps each (map task, seq) key to its committed
+	// block for that reduce partition.
+	buckets map[int]map[blockKey]shuffleBlock
+	// hosts records which executor hosts each map task's committed output.
+	hosts map[int]int
+	// lost maps each map task whose output was dropped by an executor loss
+	// to the executor that died holding it; cleared when the recomputed
+	// output commits.
+	lost map[int]int
+	// lostByPart[reduceID] holds the subset of lost map tasks that had
+	// written a block for that reduce partition, so fetches fail precisely
+	// for the partitions that actually lost data.
+	lostByPart map[int]map[int]int
+	// recompute re-runs the given lost map partitions from lineage; the
+	// producing layer (internal/rdd, or a raw-cluster caller) registers it
+	// alongside the map stage.
+	recompute func(lost []int) error
 }
 
 // blockKey identifies one map-output bucket within a reduce partition.
@@ -33,14 +62,43 @@ type blockKey struct {
 }
 
 type shuffleBlock struct {
-	data  any
-	bytes int64
+	data     any
+	bytes    int64
+	executor int
 }
 
+// ErrFetchFailed is the sentinel under every *FetchFailedError, so callers
+// can errors.Is a wrapped task error to detect shuffle-fetch failures.
+var ErrFetchFailed = errors.New("cluster: shuffle fetch failed")
+
+// FetchFailedError reports that a reduce-side shuffle read touched map
+// outputs that were lost with their executor. MapTasks lists the missing map
+// partitions for the fetched reduce partition; Executors the dead hosts that
+// held them (both sorted ascending).
+type FetchFailedError struct {
+	ShuffleID int
+	Partition int
+	MapTasks  []int
+	Executors []int
+}
+
+func (e *FetchFailedError) Error() string {
+	return fmt.Sprintf("shuffle %d partition %d: map outputs %v lost with executors %v",
+		e.ShuffleID, e.Partition, e.MapTasks, e.Executors)
+}
+
+func (e *FetchFailedError) Unwrap() error { return ErrFetchFailed }
+
 func newShuffleService() *ShuffleService {
-	return &ShuffleService{
-		blocks: make(map[int]map[int]map[blockKey]shuffleBlock),
-		done:   make(map[int]bool),
+	return &ShuffleService{shuffles: make(map[int]*shuffleState)}
+}
+
+func newShuffleState() *shuffleState {
+	return &shuffleState{
+		buckets:    make(map[int]map[blockKey]shuffleBlock),
+		hosts:      make(map[int]int),
+		lost:       make(map[int]int),
+		lostByPart: make(map[int]map[int]int),
 	}
 }
 
@@ -49,14 +107,39 @@ func (s *ShuffleService) Register() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	s.blocks[s.nextID] = make(map[int]map[blockKey]shuffleBlock)
+	s.shuffles[s.nextID] = newShuffleState()
 	return s.nextID
+}
+
+// SetRecompute registers the lineage callback that regenerates the given map
+// tasks' output after an executor loss. The scheduler invokes it from the
+// stage-resubmission path; without one, a fetch failure on this shuffle is
+// unrecoverable and aborts the reduce stage.
+func (s *ShuffleService) SetRecompute(id int, fn func(lost []int) error) {
+	s.mu.Lock()
+	if st, ok := s.shuffles[id]; ok {
+		st.recompute = fn
+	}
+	s.mu.Unlock()
+}
+
+// recomputeFor returns the shuffle's registered recompute callback, nil when
+// absent.
+func (s *ShuffleService) recomputeFor(id int) func(lost []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.shuffles[id]; ok {
+		return st.recompute
+	}
+	return nil
 }
 
 // MarkDone records that the shuffle's map stage completed.
 func (s *ShuffleService) MarkDone(id int) {
 	s.mu.Lock()
-	s.done[id] = true
+	if st, ok := s.shuffles[id]; ok {
+		st.done = true
+	}
 	s.mu.Unlock()
 }
 
@@ -64,39 +147,113 @@ func (s *ShuffleService) MarkDone(id int) {
 func (s *ShuffleService) Done(id int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.done[id]
+	st, ok := s.shuffles[id]
+	return ok && st.done
 }
 
-// Unregister drops all blocks of a shuffle.
+// Unregister drops all blocks and tracking state of a shuffle.
 func (s *ShuffleService) Unregister(id int) {
 	s.mu.Lock()
-	delete(s.blocks, id)
-	delete(s.done, id)
+	delete(s.shuffles, id)
 	s.mu.Unlock()
 }
 
-func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq int, data any, bytes int64) {
+// LostMapTasks returns the map tasks whose output is currently lost, sorted
+// ascending. The resubmission path recomputes exactly this set.
+func (s *ShuffleService) LostMapTasks(id int) []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m, ok := s.blocks[shuffleID]
-	if !ok {
-		m = make(map[int]map[blockKey]shuffleBlock)
-		s.blocks[shuffleID] = m
+	st, ok := s.shuffles[id]
+	if !ok || len(st.lost) == 0 {
+		return nil
 	}
-	bucket, ok := m[reduceID]
+	out := make([]int, 0, len(st.lost))
+	for m := range st.lost {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq, executor int, data any, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
+		st = newShuffleState()
+		s.shuffles[shuffleID] = st
+	}
+	bucket, ok := st.buckets[reduceID]
 	if !ok {
 		bucket = make(map[blockKey]shuffleBlock)
-		m[reduceID] = bucket
+		st.buckets[reduceID] = bucket
 	}
 	// Last write wins; attempts of a deterministic task write identical
 	// data, so a duplicate commit leaves the bucket unchanged.
-	bucket[blockKey{mapTask: mapTask, seq: seq}] = shuffleBlock{data: data, bytes: bytes}
+	bucket[blockKey{mapTask: mapTask, seq: seq}] = shuffleBlock{data: data, bytes: bytes, executor: executor}
+	st.hosts[mapTask] = executor
+	delete(st.lost, mapTask)
+	delete(st.lostByPart[reduceID], mapTask)
 }
 
-func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64) {
+// invalidateExecutor drops every committed block hosted by executor e and
+// marks the affected map tasks lost, returning how many map outputs
+// disappeared across all registered shuffles.
+func (s *ShuffleService) invalidateExecutor(e int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	bucket := s.blocks[shuffleID][reduceID]
+	n := 0
+	for _, st := range s.shuffles {
+		for m, host := range st.hosts {
+			if host != e {
+				continue
+			}
+			delete(st.hosts, m)
+			st.lost[m] = e
+			n++
+			for rid, bucket := range st.buckets {
+				for k := range bucket {
+					if k.mapTask == m {
+						delete(bucket, k)
+						lp, ok := st.lostByPart[rid]
+						if !ok {
+							lp = make(map[int]int)
+							st.lostByPart[rid] = lp
+						}
+						lp[m] = e
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// fetch returns the reduce partition's committed blocks sorted by
+// (map task, seq), or a *FetchFailedError when any map output the partition
+// depends on was lost with its executor.
+func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64, *FetchFailedError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.shuffles[shuffleID]
+	if !ok {
+		return nil, 0, nil
+	}
+	if lp := st.lostByPart[reduceID]; len(lp) > 0 {
+		ff := &FetchFailedError{ShuffleID: shuffleID, Partition: reduceID}
+		seen := make(map[int]bool)
+		for m, e := range lp {
+			ff.MapTasks = append(ff.MapTasks, m)
+			if !seen[e] {
+				seen[e] = true
+				ff.Executors = append(ff.Executors, e)
+			}
+		}
+		sort.Ints(ff.MapTasks)
+		sort.Ints(ff.Executors)
+		return nil, 0, ff
+	}
+	bucket := st.buckets[reduceID]
 	keys := make([]blockKey, 0, len(bucket))
 	for k := range bucket {
 		keys = append(keys, k)
@@ -114,7 +271,7 @@ func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64) {
 		out[i] = b.data
 		bytes += b.bytes
 	}
-	return out, bytes
+	return out, bytes, nil
 }
 
 // Shuffles exposes the shuffle service to the RDD layer.

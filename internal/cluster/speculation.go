@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,14 +25,20 @@ import (
 // discarded, exactly like a failed attempt's, which is what the chaos
 // harness (chaos_test.go) verifies bit-for-bit against a sequential oracle.
 
-// stageRun coordinates one stage's real execution.
+// stageRun coordinates one stage's real execution, possibly across several
+// submission attempts (the resubmission loop in runStage re-runs the
+// uncommitted tasks after lineage recovery).
 type stageRun struct {
-	c       *Cluster
-	stageID int
-	name    string
-	run     func(tc *TaskContext) error
-	sem     chan struct{}
-	wg      sync.WaitGroup
+	c        *Cluster
+	stageID  int
+	name     string
+	run      func(tc *TaskContext) error
+	recovery bool
+	// live is the stage attempt's live-executor list, set by runStage
+	// before each attempt launches and stable while its chains run.
+	live []int
+	sem  chan struct{}
+	wg   sync.WaitGroup
 
 	// results holds the committed task results (PublishResult); only the
 	// single winning attempt of a task writes its slot, and readers wait
@@ -51,6 +58,7 @@ type taskState struct {
 	specLaunched  bool
 	primaryDone   bool
 	specDone      bool
+	executor      int // live executor the primary chain was placed on
 	primaryCancel context.CancelFunc
 	specCancel    context.CancelFunc
 	primary       chainResult
@@ -72,14 +80,35 @@ type chainResult struct {
 	err           error // retries exhausted (nil when committed or abandoned)
 }
 
-func (c *Cluster) newStageRun(stageID int, name string, numTasks int, run func(tc *TaskContext) error, collect bool) *stageRun {
+// absorb merges a later submission attempt's chain accounting into the
+// accumulated record: the work spent before a fetch-failure-triggered
+// resubmission really happened and stays charged, while the terminal fields
+// (succeeded/committed/err) reflect the latest attempt.
+func (r *chainResult) absorb(res chainResult) {
+	r.ran = r.ran || res.ran
+	r.virtualNS += res.virtualNS
+	r.computeNS += res.computeNS
+	r.shuffleWaitNS += res.shuffleWaitNS
+	r.attempts += res.attempts
+	r.failures += res.failures
+	r.stragglers += res.stragglers
+	r.succeeded = res.succeeded
+	r.committed = res.committed
+	r.err = res.err
+}
+
+func (c *Cluster) newStageRun(stageID int, name string, numTasks int, run func(tc *TaskContext) error, collect, recovery bool) *stageRun {
 	sr := &stageRun{
-		c:       c,
-		stageID: stageID,
-		name:    name,
-		run:     run,
-		sem:     make(chan struct{}, c.cfg.RealParallelism),
-		states:  make([]taskState, numTasks),
+		c:        c,
+		stageID:  stageID,
+		name:     name,
+		run:      run,
+		recovery: recovery,
+		sem:      make(chan struct{}, c.cfg.RealParallelism),
+		states:   make([]taskState, numTasks),
+	}
+	for i := range sr.states {
+		sr.states[i].executor = -1
 	}
 	if collect {
 		sr.results = make([]any, numTasks)
@@ -87,18 +116,36 @@ func (c *Cluster) newStageRun(stageID int, name string, numTasks int, run func(t
 	return sr
 }
 
-// execute runs every task's primary chain on the bounded worker pool and,
-// with speculation enabled, the straggler monitor alongside. It returns when
-// every launched chain has finished and the monitor has stopped.
-func (sr *stageRun) execute() {
-	numTasks := len(sr.states)
+// executeAttempt runs one submission attempt: every not-yet-committed task's
+// primary chain on the bounded worker pool and, with speculation enabled,
+// the straggler monitor alongside. It returns when every launched chain has
+// finished, and — on every path — only after the monitor goroutine has
+// stopped, so a failing stage never leaks it.
+func (sr *stageRun) executeAttempt() {
+	var launch []int
+	sr.mu.Lock()
+	for i := range sr.states {
+		if !sr.states[i].committed {
+			launch = append(launch, i)
+		}
+	}
+	sr.mu.Unlock()
+	if len(launch) == 0 {
+		return
+	}
 	var stopMonitor, monitorDone chan struct{}
-	if sr.c.cfg.Speculation && numTasks > 1 {
+	if sr.c.cfg.Speculation && len(sr.states) > 1 {
 		stopMonitor = make(chan struct{})
 		monitorDone = make(chan struct{})
 		go sr.monitor(stopMonitor, monitorDone)
 	}
-	for i := 0; i < numTasks; i++ {
+	defer func() {
+		if stopMonitor != nil {
+			close(stopMonitor)
+			<-monitorDone
+		}
+	}()
+	for _, i := range launch {
 		sr.wg.Add(1)
 		sr.sem <- struct{}{}
 		go func(task int) {
@@ -108,9 +155,49 @@ func (sr *stageRun) execute() {
 		}(i)
 	}
 	sr.wg.Wait()
-	if stopMonitor != nil {
-		close(stopMonitor)
-		<-monitorDone
+}
+
+// fetchFailures collects the *FetchFailedError terminal errors of the last
+// attempt's uncommitted tasks, in task order. It returns nil when any
+// uncommitted task failed for a different reason: genuine failures are not
+// repairable by lineage resubmission, so the stage must fail as usual.
+func (sr *stageRun) fetchFailures() []*FetchFailedError {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	var out []*FetchFailedError
+	for i := range sr.states {
+		st := &sr.states[i]
+		if st.committed {
+			continue
+		}
+		var ff *FetchFailedError
+		if !errors.As(st.primary.err, &ff) {
+			return nil
+		}
+		out = append(out, ff)
+	}
+	return out
+}
+
+// resetForResubmit rearms the uncommitted tasks for the next submission
+// attempt. Committed tasks keep their single commit; accumulated accounting
+// stays (absorb merges the next attempt in), and specLaunched stays set so a
+// task is speculated at most once across the whole stage.
+func (sr *stageRun) resetForResubmit() {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for i := range sr.states {
+		st := &sr.states[i]
+		if st.committed {
+			continue
+		}
+		st.start = time.Time{}
+		st.primaryDone = false
+		st.specDone = false
+		st.primary.err = nil
+		st.primary.succeeded = false
+		st.spec.err = nil
+		st.spec.succeeded = false
 	}
 }
 
@@ -169,7 +256,8 @@ func (sr *stageRun) monitor(stop, done chan struct{}) {
 		for _, task := range launches {
 			sr.c.metrics.SpeculativeTasksLaunched.Add(1)
 			sr.c.tracer.Emit(Event{Kind: EventTaskSpecLaunch, Stage: sr.name, StageID: sr.stageID,
-				Task: task, Attempt: -1, Speculative: true})
+				Task: task, Attempt: -1, Speculative: true,
+				Executor: sr.c.hostFor(sr.live, sr.stageID, task, true)})
 			go func(task int) {
 				defer sr.wg.Done()
 				sr.runChain(task, true)
@@ -179,9 +267,13 @@ func (sr *stageRun) monitor(stop, done chan struct{}) {
 }
 
 // runChain executes one attempt chain (primary or speculative) of a task.
+// Placement is deterministic: the chain runs on hostFor's pick among the
+// attempt's live executors (a speculative copy lands on a different host
+// than its primary whenever one exists).
 func (sr *stageRun) runChain(task int, speculative bool) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	exec := sr.c.hostFor(sr.live, sr.stageID, task, speculative)
 	sr.mu.Lock()
 	st := &sr.states[task]
 	if speculative {
@@ -189,23 +281,24 @@ func (sr *stageRun) runChain(task int, speculative bool) {
 	} else {
 		st.start = time.Now()
 		st.primaryCancel = cancel
+		st.executor = exec
 	}
 	alreadyCommitted := st.committed
 	sr.mu.Unlock()
 
 	var res chainResult
 	if !alreadyCommitted {
-		res = sr.runAttempts(ctx, task, speculative)
+		res = sr.runAttempts(ctx, task, speculative, exec)
 	}
 	res.ran = true
 
 	sr.mu.Lock()
 	if speculative {
-		st.spec = res
+		st.spec.absorb(res)
 		st.specDone = true
 		st.specCancel = nil
 	} else {
-		st.primary = res
+		st.primary.absorb(res)
 		st.primaryDone = true
 		st.primaryCancel = nil
 	}
@@ -262,7 +355,7 @@ func (sr *stageRun) tryCommit(task int, speculative bool, tc *TaskContext) bool 
 // Injected failures, pressure timeouts, and genuine errors consume the
 // retry budget exactly as without speculation; a successful attempt races
 // for the task commit and the chain ends either way.
-func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool) chainResult {
+func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool, exec int) chainResult {
 	c := sr.c
 	cfg := c.cfg
 	var out chainResult
@@ -272,7 +365,8 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			return out // abandoned: a rival won between attempts
 		}
 		tc := &TaskContext{cluster: c, ctx: ctx, stageID: sr.stageID, stageName: sr.name,
-			task: task, attempt: attempt, speculative: speculative}
+			task: task, attempt: attempt, speculative: speculative,
+			executor: exec, recovery: sr.recovery}
 		if !speculative {
 			// Primary chains hold a RealParallelism token; blocking
 			// sleeps yield it so stalled tasks don't starve real workers.
@@ -280,7 +374,7 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			tc.resume = func() { sr.sem <- struct{}{} }
 		}
 		c.tracer.Emit(Event{Kind: EventTaskStart, Stage: sr.name, StageID: sr.stageID,
-			Task: task, Attempt: attempt, Speculative: speculative})
+			Task: task, Attempt: attempt, Speculative: speculative, Executor: exec})
 
 		if c.injectStraggler(sr.stageID, task, attempt, speculative) {
 			out.stragglers++
@@ -290,7 +384,7 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			// real block gives the monitor a wall-clock window to race in.
 			tc.AddVirtualNS(cfg.StragglerVirtualMS * 1e6)
 			c.tracer.Emit(Event{Kind: EventTaskStraggler, Stage: sr.name, StageID: sr.stageID,
-				Task: task, Attempt: attempt, Speculative: speculative,
+				Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
 				VirtualNS: cfg.StragglerVirtualMS * 1e6})
 			tc.sleep(time.Duration(cfg.StragglerRealDelayMS * 1e6))
 		}
@@ -320,7 +414,7 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			tc.discard()
 			if c.tracer.Enabled() {
 				c.tracer.Emit(Event{Kind: EventTaskCancelled, Stage: sr.name, StageID: sr.stageID,
-					Task: task, Attempt: attempt, Speculative: speculative,
+					Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
 					Outcome: "loser", VirtualNS: virtual})
 			}
 			return out
@@ -329,9 +423,28 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			out.failures++
 			lastErr = err
 			tc.discard()
+			var ff *FetchFailedError
+			if errors.As(err, &ff) {
+				// A fetch failure is a stage-level fault, not a task
+				// fault: the lost map outputs cannot reappear by retrying
+				// the reduce task on the same inputs. The chain ends here
+				// — without consuming further task retries — and the stage
+				// scheduler recomputes the parent's lost partitions and
+				// resubmits.
+				out.err = err
+				if !speculative {
+					c.metrics.FetchFailures.Add(1)
+				}
+				if c.tracer.Enabled() {
+					c.tracer.Emit(Event{Kind: EventFetchFailed, Stage: sr.name, StageID: sr.stageID,
+						Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
+						VirtualNS: virtual, Detail: err.Error()})
+				}
+				return out
+			}
 			if c.tracer.Enabled() {
 				c.tracer.Emit(Event{Kind: EventTaskError, Stage: sr.name, StageID: sr.stageID,
-					Task: task, Attempt: attempt, Speculative: speculative,
+					Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
 					VirtualNS: virtual, Detail: err.Error()})
 			}
 			continue
@@ -349,7 +462,8 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 			out.failures++
 			tc.discard()
 			c.tracer.Emit(Event{Kind: kind, Stage: sr.name, StageID: sr.stageID,
-				Task: task, Attempt: attempt, Speculative: speculative, VirtualNS: virtual})
+				Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
+				VirtualNS: virtual})
 			continue
 		}
 
@@ -358,7 +472,8 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 		if sr.tryCommit(task, speculative, tc) {
 			out.committed = true
 			ev := Event{Kind: EventTaskSuccess, Stage: sr.name, StageID: sr.stageID,
-				Task: task, Attempt: attempt, Speculative: speculative, VirtualNS: virtual}
+				Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
+				VirtualNS: virtual}
 			if sr.raced(task) {
 				ev.Outcome = "winner"
 			}
@@ -366,7 +481,7 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool)
 		} else {
 			tc.discard()
 			c.tracer.Emit(Event{Kind: EventTaskCancelled, Stage: sr.name, StageID: sr.stageID,
-				Task: task, Attempt: attempt, Speculative: speculative,
+				Task: task, Attempt: attempt, Speculative: speculative, Executor: exec,
 				Outcome: "loser", VirtualNS: virtual})
 		}
 		return out

@@ -261,8 +261,11 @@ func TestSpeculationRaceStress(t *testing.T) {
 				}
 				c.Shuffles().MarkDone(shID)
 				results, _, err := c.RunStageResults(fmt.Sprintf("stress-reduce-%d", s), 4, func(tc *TaskContext) error {
-					n := len(tc.FetchShuffle(shID, tc.Task()))
-					tc.PublishResult(n)
+					blocks, ferr := tc.FetchShuffle(shID, tc.Task())
+					if ferr != nil {
+						return ferr
+					}
+					tc.PublishResult(len(blocks))
 					return nil
 				})
 				if err != nil {

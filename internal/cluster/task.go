@@ -33,6 +33,18 @@ type TaskContext struct {
 	task        int
 	attempt     int
 	speculative bool
+	// executor is the live executor this attempt's chain was placed on;
+	// committed shuffle blocks and cached partitions are hosted there and
+	// die with it.
+	executor int
+	// recovery marks attempts of a patch-up stage regenerating lost
+	// output. Their shuffle writes commit normally (the data must come
+	// back) but their work-counter deltas are NOT folded into the metrics
+	// registry: the regenerated output was already counted when it first
+	// committed, and double-counting it would make recovered runs diverge
+	// from the sequential oracle. Recovery cost is accounted separately
+	// (RecomputedTasks/RecomputedStages and virtual time).
+	recovery bool
 
 	// Attempt-scoped virtual time. virtualNS is general simulated I/O
 	// (broadcast reads, user-charged waits); shuffleWaitNS is the share
@@ -87,6 +99,11 @@ func (tc *TaskContext) Attempt() int { return tc.attempt }
 // Speculative reports whether this attempt belongs to a speculative
 // duplicate chain launched by the straggler monitor.
 func (tc *TaskContext) Speculative() bool { return tc.speculative }
+
+// Executor returns the live executor this attempt runs on. Side effects the
+// task hosts locally (shuffle map output, cached partitions) are lost if
+// that executor later fails.
+func (tc *TaskContext) Executor() int { return tc.executor }
 
 // Context returns the attempt's context. It is cancelled when a rival
 // attempt of the same task commits first (speculation's
@@ -178,10 +195,19 @@ func (tc *TaskContext) SetWorkingSetBytes(n int64) {
 // the same deterministic output — e.g. by a retried or speculative attempt —
 // is idempotent: the bucket contents equal a single write.
 func (tc *TaskContext) WriteShuffle(shuffleID, reduceID int, data any, records, bytes int64) {
+	tc.WriteShuffleAs(shuffleID, reduceID, tc.task, data, records, bytes)
+}
+
+// WriteShuffleAs is WriteShuffle with an explicit map-task identity. A
+// recovery task regenerating executor-lost output runs under its own
+// patch-up stage's task numbering but must commit blocks under the original
+// map partition's (map task, seq) keys, or the recomputed blocks would not
+// splice back into the reduce-side sort order the first run established.
+func (tc *TaskContext) WriteShuffleAs(shuffleID, reduceID, mapTask int, data any, records, bytes int64) {
 	tc.pendingShuffle = append(tc.pendingShuffle, pendingWrite{
 		shuffleID: shuffleID,
 		reduceID:  reduceID,
-		mapTask:   tc.task,
+		mapTask:   mapTask,
 		seq:       len(tc.pendingShuffle),
 		data:      data,
 		records:   records,
@@ -193,8 +219,17 @@ func (tc *TaskContext) WriteShuffle(shuffleID, reduceID int, data any, records, 
 // partition and charges the simulated network transfer to this attempt as
 // shuffle-wait time. The bytes-read metric is buffered and committed only if
 // the attempt succeeds.
-func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
-	blocks, bytes := tc.cluster.shuffles.fetch(shuffleID, reduceID)
+//
+// When any map output the partition depends on was lost with its executor,
+// FetchShuffle returns a *FetchFailedError. The task must propagate it: the
+// scheduler recognizes the error, recomputes the lost map partitions from
+// lineage, and resubmits the stage — retrying the fetch locally cannot bring
+// the blocks back.
+func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([]any, error) {
+	blocks, bytes, ff := tc.cluster.shuffles.fetch(shuffleID, reduceID)
+	if ff != nil {
+		return nil, ff
+	}
 	cfg := tc.cluster.cfg
 	transferNS := float64(bytes)/(cfg.NetworkMBps*1e6)*1e9 +
 		cfg.ShuffleLatencyMS*1e6*float64(len(blocks))
@@ -202,7 +237,7 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
 		tc.shuffleWaitNS += transferNS
 	}
 	tc.shuffleBytesRead += bytes
-	return blocks
+	return blocks, nil
 }
 
 // commit publishes the attempt's buffered side effects: shuffle output
@@ -212,11 +247,20 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) []any {
 func (tc *TaskContext) commit() {
 	m := tc.cluster.metrics
 	for _, w := range tc.pendingShuffle {
-		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.mapTask, w.seq, w.data, w.bytes)
-		m.ShuffleBytesWritten.Add(w.bytes)
-		m.ShuffleRecordsWritten.Add(w.records)
+		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.mapTask, w.seq, tc.executor, w.data, w.bytes)
+		if !tc.recovery {
+			m.ShuffleBytesWritten.Add(w.bytes)
+			m.ShuffleRecordsWritten.Add(w.records)
+		}
 	}
 	tc.pendingShuffle = nil
+	if tc.recovery {
+		// Recomputed work re-creates already-counted output; folding its
+		// deltas in again would break the work-counter invariance against
+		// the sequential oracle (see the recovery field).
+		tc.records, tc.comparisons, tc.shuffleBytesRead = 0, 0, 0
+		return
+	}
 	if tc.records != 0 {
 		m.RecordsProcessed.Add(tc.records)
 	}

@@ -39,6 +39,19 @@ const (
 	EventBlockEvict     EventKind = "block_evict"
 	EventBlockRecompute EventKind = "block_recompute"
 	EventBroadcast      EventKind = "broadcast"
+	// Executor-loss recovery events. executor_lost marks a killed executor
+	// (its Detail counts the dropped map outputs and cached partitions);
+	// executor_blacklisted marks one crossing the repeated-failure
+	// threshold into exponential backoff. fetch_failed is emitted by a
+	// reduce attempt whose shuffle read touched lost map outputs, and
+	// stage_resubmit marks the scheduler recomputing those outputs from
+	// lineage before re-running the stage. checkpoint marks one partition
+	// materialized to reliable storage by rdd.Checkpoint.
+	EventExecutorLost        EventKind = "executor_lost"
+	EventExecutorBlacklisted EventKind = "executor_blacklisted"
+	EventFetchFailed         EventKind = "fetch_failed"
+	EventStageResubmit       EventKind = "stage_resubmit"
+	EventCheckpoint          EventKind = "checkpoint"
 )
 
 // Event is one structured record of the cluster's execution. Task and
@@ -59,6 +72,11 @@ type Event struct {
 	Task int `json:"task"`
 	// Attempt is the zero-based attempt number, -1 when unbound.
 	Attempt int `json:"attempt"`
+	// Executor is the executor the event's subject ran on (task-level
+	// events) or refers to (executor lifecycle events); -1 when the event
+	// is not bound to an executor. Always exported, so recovery events in
+	// JSON traces are attributable to hosts.
+	Executor int `json:"executor"`
 	// Bytes carries the payload size for shuffle/block/broadcast events.
 	Bytes int64 `json:"bytes,omitempty"`
 	// VirtualNS is the virtual duration charged by the event's subject

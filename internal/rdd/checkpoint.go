@@ -1,0 +1,100 @@
+package rdd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"adrdedup/internal/cluster"
+)
+
+// Checkpointing: eager materialization of an RDD into the cluster's reliable
+// checkpoint store, truncating its lineage. Where cached partitions live on
+// the executor that computed them and die with it, checkpointed partitions
+// survive any executor loss — recovery reads them back instead of recomputing
+// the full lineage (and in particular never re-runs upstream shuffle map
+// stages). This mirrors Spark's RDD.checkpoint(), which the paper's long
+// iterative jobs rely on to bound recovery cost.
+
+// encodePartition serializes one partition for the checkpoint store.
+func encodePartition[T any](data []T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(data); err != nil {
+		return nil, fmt.Errorf("encoding checkpoint partition: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePartition deserializes a checkpointed partition. gob's decoder can
+// panic on some malformed inputs; the recover keeps corrupted store contents
+// (and fuzzed inputs) surfacing as errors rather than crashing the task.
+func decodePartition[T any](b []byte) (out []T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decoding checkpoint partition: panic: %v", r)
+		}
+	}()
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding checkpoint partition: %w", err)
+	}
+	return out, nil
+}
+
+// Checkpoint eagerly materializes every partition of r into the cluster's
+// reliable checkpoint store and truncates the RDD's lineage: the compute
+// closure is replaced by a store read, and the streaming description, fused
+// chain label, and upstream prepare closures are dropped (a checkpointed RDD
+// is a fusion boundary, like a shuffle output). Jobs over r — and over
+// descendants — thereafter recompute from the checkpoint instead of from the
+// full lineage, so losing an executor that hosted upstream shuffle outputs no
+// longer forces map-stage recomputation below the checkpoint.
+//
+// The materializing job runs through the normal commit gate: only winning
+// attempts' encoded partitions are published, and the store write happens
+// driver-side exactly once per partition. Writing and later reading the store
+// cross the network at the cluster's simulated bandwidth.
+func (r *RDD[T]) Checkpoint() error {
+	cl := r.ctx.cl
+	cfg := cl.Config()
+	byteCostNS := func(n int) float64 {
+		return float64(n)/(cfg.NetworkMBps*1e6)*1e9 + cfg.ShuffleLatencyMS*1e6
+	}
+	encoded, err := RunJob(r, "checkpoint", func(tc *cluster.TaskContext, p int, data []T) ([]byte, error) {
+		b, err := encodePartition(data)
+		if err != nil {
+			return nil, err
+		}
+		tc.AddVirtualNS(byteCostNS(len(b)))
+		return b, nil
+	})
+	if err != nil {
+		return fmt.Errorf("checkpointing rdd %q: %w", r.name, err)
+	}
+	for p, b := range encoded {
+		cl.Checkpoints().Put(cluster.BlockID{RDD: r.id, Partition: p}, b)
+	}
+
+	id := r.id
+	r.mu.Lock()
+	r.checkpointed = true
+	r.mu.Unlock()
+	r.compute = func(tc *cluster.TaskContext, p int) ([]T, error) {
+		b, ok := cl.Checkpoints().Get(cluster.BlockID{RDD: id, Partition: p})
+		if !ok {
+			return nil, fmt.Errorf("checkpointed rdd %d: partition %d missing from store", id, p)
+		}
+		tc.AddVirtualNS(byteCostNS(len(b)))
+		return decodePartition[T](b)
+	}
+	r.stream = nil
+	r.chain = nil
+	r.prepare = nil
+	return nil
+}
+
+// IsCheckpointed reports whether Checkpoint has completed for this RDD.
+func (r *RDD[T]) IsCheckpointed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checkpointed
+}

@@ -1,0 +1,286 @@
+package rdd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adrdedup/internal/cluster"
+)
+
+// killAllButOne fails every live executor except the last, invalidating all
+// executor-hosted shuffle outputs and cached partitions.
+func killAllButOne(t *testing.T, cl *cluster.Cluster) {
+	t.Helper()
+	live := cl.LiveExecutors()
+	if len(live) < 2 {
+		t.Fatal("need at least 2 live executors to kill")
+	}
+	for _, e := range live[:len(live)-1] {
+		if !cl.FailExecutor(e) {
+			t.Fatalf("FailExecutor(%d) refused", e)
+		}
+	}
+}
+
+func recomputeStages(cl *cluster.Cluster) int {
+	n := 0
+	for _, s := range cl.StageHistory() {
+		if strings.Contains(s.Name, ".recompute") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExecutorLossTransparentToJobs: an RDD pipeline run under executor kills
+// must produce the same results and committed work counters as a kill-free
+// run — recovery is invisible above the cluster layer.
+func TestExecutorLossTransparentToJobs(t *testing.T) {
+	run := func(killRate float64) ([]Pair[int, int], cluster.MetricsSnapshot) {
+		cl := cluster.New(cluster.Config{
+			Executors:           4,
+			Seed:                23,
+			ExecutorFailureRate: killRate,
+		})
+		ctx := NewContext(cl)
+		data := make([]int, 400)
+		for i := range data {
+			data[i] = i
+		}
+		keyed := Map(Parallelize(ctx, data, 8), func(v int) Pair[int, int] { return KV(v%5, v) })
+		sums := ReduceByKey(keyed, func(a, b int) int { return a + b }, 3)
+		out, err := SortBy(sums, func(a, b Pair[int, int]) bool { return a.Key < b.Key }, 2).Collect()
+		if err != nil {
+			t.Fatalf("pipeline at kill rate %v: %v", killRate, err)
+		}
+		return out, cl.Metrics().Snapshot()
+	}
+	wantOut, clean := run(0)
+	gotOut, faulty := run(0.3)
+
+	if faulty.ExecutorFailures == 0 {
+		t.Fatal("kill rate 0.3 lost no executors; test is vacuous")
+	}
+	if fmt.Sprint(gotOut) != fmt.Sprint(wantOut) {
+		t.Errorf("results diverge under executor loss:\n got %v\nwant %v", gotOut, wantOut)
+	}
+	if clean.RecordsProcessed != faulty.RecordsProcessed ||
+		clean.Comparisons != faulty.Comparisons ||
+		clean.ShuffleRecordsWritten != faulty.ShuffleRecordsWritten ||
+		clean.ShuffleBytesWritten != faulty.ShuffleBytesWritten ||
+		clean.ShuffleBytesRead != faulty.ShuffleBytesRead {
+		t.Errorf("work counters diverge under executor loss:\n clean  %+v\n faulty %+v", clean, faulty)
+	}
+	if faulty.RecomputedTasks > faulty.MapOutputsLost {
+		t.Errorf("RecomputedTasks %d > MapOutputsLost %d: recovery recomputed more than it lost",
+			faulty.RecomputedTasks, faulty.MapOutputsLost)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cl := cluster.New(cluster.Config{Executors: 3})
+	ctx := NewContext(cl)
+	data := make([]int, 100)
+	for i := range data {
+		data[i] = i * 3
+	}
+	r := Map(Parallelize(ctx, data, 5), func(v int) int { return v + 1 })
+	want, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IsCheckpointed() {
+		t.Fatal("IsCheckpointed before Checkpoint")
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsCheckpointed() {
+		t.Fatal("IsCheckpointed false after Checkpoint")
+	}
+	if n := cl.Checkpoints().Len(); n != 5 {
+		t.Fatalf("checkpoint store holds %d partitions, want 5", n)
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("checkpointed collect = %v, want %v", got, want)
+	}
+	// Downstream transformations of a checkpointed RDD still work (it is a
+	// fusion boundary now, not fusable).
+	doubled, err := Map(r, func(v int) int { return v * 2 }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doubled) != len(want) || doubled[0] != want[0]*2 {
+		t.Errorf("downstream of checkpoint: %v", doubled[:3])
+	}
+}
+
+func TestCheckpointEmptyPartitions(t *testing.T) {
+	cl := cluster.New(cluster.Config{Executors: 2})
+	ctx := NewContext(cl)
+	r := Filter(Parallelize(ctx, []int{1, 2, 3, 4}, 2), func(v int) bool { return false })
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty checkpointed RDD collected %v", got)
+	}
+}
+
+// TestCheckpointTruncatesRecovery is the lineage-truncation acceptance test:
+// after Checkpoint, losing every executor that hosted the upstream shuffle
+// outputs must NOT trigger map-stage recomputation — jobs read the reliable
+// checkpoint store instead of re-fetching the shuffle. The contrast case
+// (same pipeline, no checkpoint) must recompute.
+func TestCheckpointTruncatesRecovery(t *testing.T) {
+	build := func(cl *cluster.Cluster) *RDD[Pair[int, int]] {
+		ctx := NewContext(cl)
+		data := make([]int, 200)
+		for i := range data {
+			data[i] = i
+		}
+		keyed := Map(Parallelize(ctx, data, 6), func(v int) Pair[int, int] { return KV(v%4, v) })
+		return ReduceByKey(keyed, func(a, b int) int { return a + b }, 3)
+	}
+	cfg := cluster.Config{Executors: 4, ExecutorRecoveryStages: 1000}
+
+	// Contrast case: no checkpoint. Killing the hosts after the first job
+	// forces lost-map-output recomputation on the second.
+	cl := cluster.New(cfg)
+	sums := build(cl)
+	want, err := sums.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAllButOne(t, cl)
+	if _, err := sums.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if n := recomputeStages(cl); n == 0 {
+		t.Fatal("contrast case recomputed nothing; test is vacuous")
+	}
+
+	// Checkpointed case: same kills, zero recompute stages.
+	cl2 := cluster.New(cfg)
+	sums2 := build(cl2)
+	if err := sums2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	killAllButOne(t, cl2)
+	got, err := sums2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := recomputeStages(cl2); n != 0 {
+		t.Errorf("checkpointed run still ran %d recompute stages; lineage not truncated", n)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("checkpointed recovery = %v, want %v", got, want)
+	}
+	if cl2.Metrics().CheckpointedPartitions.Load() != 3 {
+		t.Errorf("CheckpointedPartitions = %d, want 3", cl2.Metrics().CheckpointedPartitions.Load())
+	}
+}
+
+// TestCheckpointBeatsCacheUnderExecutorLoss: a cached partition dies with its
+// executor (next read recomputes from lineage); a checkpointed partition does
+// not. This pins the semantic difference between Cache and Checkpoint.
+func TestCheckpointBeatsCacheUnderExecutorLoss(t *testing.T) {
+	cfg := cluster.Config{Executors: 3, ExecutorRecoveryStages: 1000}
+
+	cl := cluster.New(cfg)
+	ctx := NewContext(cl)
+	cached := Map(Parallelize(ctx, []int{1, 2, 3, 4, 5, 6}, 3), func(v int) int { return v * 2 }).Cache()
+	if _, err := cached.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	killAllButOne(t, cl)
+	if _, err := cached.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics().BlockRecomputes.Load() == 0 {
+		t.Error("cached partitions survived executor loss; cache is not host-local")
+	}
+
+	cl2 := cluster.New(cfg)
+	ctx2 := NewContext(cl2)
+	ckpt := Map(Parallelize(ctx2, []int{1, 2, 3, 4, 5, 6}, 3), func(v int) int { return v * 2 })
+	if err := ckpt.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	killAllButOne(t, cl2)
+	if _, err := ckpt.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cl2.Metrics().BlockRecomputes.Load(); n != 0 {
+		t.Errorf("checkpointed RDD recomputed %d blocks after executor loss", n)
+	}
+}
+
+func TestCheckpointChargesVirtualTime(t *testing.T) {
+	cl := cluster.New(cluster.Config{Executors: 2, NetworkMBps: 1}) // slow network
+	ctx := NewContext(cl)
+	data := make([]int64, 100000)
+	r := Parallelize(ctx, data, 2)
+	before := cl.VirtualElapsed()
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := cl.VirtualElapsed() - before; delta <= 0 {
+		t.Errorf("checkpoint write charged no virtual time (delta %v)", delta)
+	}
+	if cl.Metrics().CheckpointBytes.Load() == 0 {
+		t.Error("CheckpointBytes not accounted")
+	}
+}
+
+// FuzzCheckpointRoundTrip fuzzes the checkpoint partition codec. Invariants:
+//
+//   - decodePartition never panics, whatever bytes the store hands back
+//     (corruption surfaces as an error, not a crash);
+//   - encode → decode is the identity on the element values;
+//   - decode → encode → decode is stable (idempotent re-encode) whenever the
+//     first decode succeeds.
+//
+// The committed corpus under testdata/fuzz/FuzzCheckpointRoundTrip seeds
+// valid encodings, truncations, and junk.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	valid, _ := encodePartition([]int64{0, -1, 1 << 62, 42})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	empty, _ := encodePartition([]int64{})
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		vals, err := decodePartition[int64](b) // must not panic
+		if err != nil {
+			return
+		}
+		re, err := encodePartition(vals)
+		if err != nil {
+			t.Fatalf("re-encoding decoded partition %v: %v", vals, err)
+		}
+		again, err := decodePartition[int64](re)
+		if err != nil {
+			t.Fatalf("decoding re-encoded partition: %v", err)
+		}
+		if len(again) != len(vals) {
+			t.Fatalf("round trip changed length: %d -> %d", len(vals), len(again))
+		}
+		for i := range vals {
+			if vals[i] != again[i] {
+				t.Fatalf("round trip changed element %d: %d -> %d", i, vals[i], again[i])
+			}
+		}
+	})
+}

@@ -105,6 +105,45 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 	shID := ctx.cl.Shuffles().Register()
 	bytesPerRecord := r.bytesPerRecord
 
+	// mapOutput streams the parent partition's fused narrow chain straight
+	// into the shuffle buckets (no intermediate slice), committing them
+	// under the given map-task identity. The original map stage runs it for
+	// every parent partition; the recompute callback re-runs it for exactly
+	// the partitions whose committed output was lost with an executor,
+	// producing bit-identical (mapTask, seq) block keys.
+	mapOutput := func(tc *cluster.TaskContext, part int) error {
+		buckets := make([][]Pair[K, V], numPartitions)
+		var records int64
+		err := r.streamInto(tc, part, nil, func(kv Pair[K, V]) error {
+			records++
+			b := int(hashKey(kv.Key) % uint64(numPartitions))
+			buckets[b] = append(buckets[b], kv)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Records are charged here, at the shuffle boundary, exactly as
+		// when the input was materialized first.
+		tc.AddRecords(records)
+		for b, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			tc.WriteShuffleAs(shID, b, part, bucket,
+				int64(len(bucket)), int64(len(bucket))*bytesPerRecord)
+		}
+		return nil
+	}
+	ctx.cl.Shuffles().SetRecompute(shID, func(lost []int) error {
+		_, err := ctx.cl.RunRecoveryStage(
+			fmt.Sprintf("%s.shuffleMap#%d.recompute@rdd%d", r.name, shID, r.id),
+			len(lost), func(tc *cluster.TaskContext) error {
+				return mapOutput(tc, lost[tc.Task()])
+			})
+		return err
+	})
+
 	var once sync.Once
 	var onceErr error
 	runMapStage := func() error {
@@ -114,30 +153,7 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 			}
 			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.lineageName(), shID, r.id),
 				r.numPartitions, func(tc *cluster.TaskContext) error {
-					// Stream the parent's fused narrow chain straight into
-					// the shuffle buckets; no intermediate slice. Records
-					// are charged here, at the shuffle boundary, exactly as
-					// when the input was materialized first.
-					buckets := make([][]Pair[K, V], numPartitions)
-					var records int64
-					err := r.streamInto(tc, tc.Task(), nil, func(kv Pair[K, V]) error {
-						records++
-						b := int(hashKey(kv.Key) % uint64(numPartitions))
-						buckets[b] = append(buckets[b], kv)
-						return nil
-					})
-					if err != nil {
-						return err
-					}
-					tc.AddRecords(records)
-					for b, bucket := range buckets {
-						if len(bucket) == 0 {
-							continue
-						}
-						tc.WriteShuffle(shID, b, bucket,
-							int64(len(bucket)), int64(len(bucket))*bytesPerRecord)
-					}
-					return nil
+					return mapOutput(tc, tc.Task())
 				})
 			if onceErr == nil {
 				ctx.cl.Shuffles().MarkDone(shID)
@@ -148,7 +164,10 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 
 	out := newRDD(ctx, r.name+".partitionBy", numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, V], error) {
-			blocks := tc.FetchShuffle(shID, p)
+			blocks, err := tc.FetchShuffle(shID, p)
+			if err != nil {
+				return nil, err
+			}
 			var n int
 			for _, b := range blocks {
 				n += len(b.([]Pair[K, V]))

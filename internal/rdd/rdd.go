@@ -80,6 +80,10 @@ type RDD[T any] struct {
 	cached     bool
 	everCached map[int]bool // partitions that were stored at least once
 
+	// checkpointed records that Checkpoint replaced compute with a reliable
+	// checkpoint-store read and truncated the lineage (see checkpoint.go).
+	checkpointed bool
+
 	// hashPartitioned marks the output of PartitionBy, letting keyed
 	// operations skip a redundant shuffle when co-partitioned.
 	hashPartitioned bool
@@ -225,7 +229,7 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 		cl.Metrics().BlockRecomputes.Add(1)
 		if cl.Tracer().Enabled() {
 			cl.Tracer().Emit(cluster.Event{Kind: cluster.EventBlockRecompute,
-				Task: tc.Task(), Attempt: tc.Attempt(),
+				Task: tc.Task(), Attempt: tc.Attempt(), Executor: tc.Executor(),
 				Detail: fmt.Sprintf("rdd%d/p%d (%s)", r.id, partition, r.name)})
 		}
 	}
@@ -233,7 +237,9 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 	if err != nil {
 		return nil, err
 	}
-	if r.ctx.cl.Blocks().Put(id, data, int64(len(data))*r.bytesPerRecord) {
+	// Cached partitions are hosted on the caching attempt's executor and
+	// die with it; the next read recomputes from lineage like an eviction.
+	if r.ctx.cl.Blocks().Put(id, data, int64(len(data))*r.bytesPerRecord, tc.Executor()) {
 		r.mu.Lock()
 		r.everCached[partition] = true
 		r.mu.Unlock()

@@ -56,6 +56,36 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 	shID := ctx.cl.Shuffles().Register()
 	parts := len(bounds) + 1
 	prepareParent := keyed.prepare
+	// mapOutput streams the range-keying chain of one parent partition
+	// straight into the shuffle buckets (no intermediate keyed slice),
+	// under an explicit map-task identity so lost-output recomputation
+	// reproduces the original block keys.
+	mapOutput := func(tc *cluster.TaskContext, part int) error {
+		buckets := make([][]T, parts)
+		err := keyed.streamInto(tc, part, nil, func(kv Pair[int, T]) error {
+			buckets[kv.Key] = append(buckets[kv.Key], kv.Value)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for b, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			tc.WriteShuffleAs(shID, b, part, bucket,
+				int64(len(bucket)), int64(len(bucket))*r.bytesPerRecord)
+		}
+		return nil
+	}
+	ctx.cl.Shuffles().SetRecompute(shID, func(lost []int) error {
+		_, err := ctx.cl.RunRecoveryStage(
+			fmt.Sprintf("%s.sortShuffle#%d.recompute@rdd%d", r.name, shID, r.id),
+			len(lost), func(tc *cluster.TaskContext) error {
+				return mapOutput(tc, lost[tc.Task()])
+			})
+		return err
+	})
 	runMapStage := onceErrFunc(func() error {
 		for _, p := range prepareParent {
 			if err := p(); err != nil {
@@ -64,24 +94,7 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 		}
 		_, err := ctx.cl.RunStage(fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.lineageName(), shID, r.id), keyed.numPartitions,
 			func(tc *cluster.TaskContext) error {
-				// Stream the range-keying chain straight into the shuffle
-				// buckets (no intermediate keyed slice).
-				buckets := make([][]T, parts)
-				err := keyed.streamInto(tc, tc.Task(), nil, func(kv Pair[int, T]) error {
-					buckets[kv.Key] = append(buckets[kv.Key], kv.Value)
-					return nil
-				})
-				if err != nil {
-					return err
-				}
-				for b, bucket := range buckets {
-					if len(bucket) == 0 {
-						continue
-					}
-					tc.WriteShuffle(shID, b, bucket,
-						int64(len(bucket)), int64(len(bucket))*r.bytesPerRecord)
-				}
-				return nil
+				return mapOutput(tc, tc.Task())
 			})
 		if err == nil {
 			ctx.cl.Shuffles().MarkDone(shID)
@@ -91,7 +104,10 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 
 	return newRDD(ctx, r.name+".sortBy", parts,
 		func(tc *cluster.TaskContext, p int) ([]T, error) {
-			blocks := tc.FetchShuffle(shID, p)
+			blocks, err := tc.FetchShuffle(shID, p)
+			if err != nil {
+				return nil, err
+			}
 			var out []T
 			for _, b := range blocks {
 				out = append(out, b.([]T)...)
