@@ -26,15 +26,17 @@ bench:
 # kernel (legacy string-set vs interned merge-scan), the speculative
 # execution straggler exhibit (off/on makespan ratio), the candidate
 # generation wall (prefix-filtered funnel vs extrapolated brute force on a
-# 100k-report corpus), and the executor-loss recovery exhibit (faulty/clean
-# makespan ratio under deterministic kills) as test2json lines, seeding the
-# perf trajectory across PRs.
+# 100k-report corpus), the executor-loss recovery exhibit (faulty/clean
+# makespan ratio under deterministic kills), and the memory-pressure spill
+# exhibit (budgeted/unbounded makespan ratio with byte-identical output) as
+# test2json lines, seeding the perf trajectory across PRs.
 bench-json:
 	$(GO) test -run='^$$' -bench='NarrowChain|CartesianFilter|JoinPartition' -benchmem -json ./internal/rdd > BENCH_engine.json
 	$(GO) test -run='^$$' -bench='PairKernel|Extract' -benchmem -json ./internal/pairdist > BENCH_pairdist.json
 	$(GO) test -run='^$$' -bench='SpeculationSkew' -benchtime=3x -json ./internal/experiments > BENCH_speculation.json
 	$(GO) test -run='^$$' -bench='CandidateGen' -benchtime=1x -timeout=60m -json ./internal/experiments > BENCH_candidates.json
 	$(GO) test -run='^$$' -bench='RecoveryOverhead' -benchtime=1x -json ./internal/experiments > BENCH_recovery.json
+	$(GO) test -run='^$$' -bench='SpillOverhead' -benchtime=1x -json ./internal/experiments > BENCH_spill.json
 
 # fuzz runs each native fuzz target briefly (CI smoke; extend -fuzztime for
 # real hunting).
@@ -44,3 +46,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzIntern -fuzztime=10s ./internal/intern
 	$(GO) test -run='^$$' -fuzz=FuzzPrefixPlan -fuzztime=10s ./internal/candgen
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/rdd
+	$(GO) test -run='^$$' -fuzz=FuzzSpillCodec -fuzztime=10s ./internal/cluster

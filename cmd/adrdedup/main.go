@@ -8,11 +8,16 @@
 //	adrdedup gen     -out reports.json -truth truth.json [-n 10382] [-dups 286] [-seed 1]
 //	adrdedup summary -db reports.json
 //	adrdedup detect  -db reports.json -batch batch.json -labels labels.json [-theta 0] [-top 20]
+//	                 [-memory-mb 0] [-target-partition-mb 0]
 //	                 [-trace trace.json] [-metrics-out metrics.json]
 //
 // detect's -trace flag records a structured stage/task event log on the
 // embedded cluster, exports it as JSON, and prints a per-stage virtual-time
 // summary to stderr; -metrics-out dumps the final cluster counter snapshot.
+// -memory-mb bounds each simulated executor's memory: blocks and shuffle
+// buffers over the budget spill to a virtual local disk (visible as spill
+// events in the trace) without changing any output. -target-partition-mb
+// turns on adaptive post-shuffle partition coalescing toward that size.
 //
 // File formats: reports and batches are JSON arrays of report objects (see
 // internal/adr); labels are a JSON array of {"caseA", "caseB", "duplicate"}
@@ -60,6 +65,7 @@ func usage() {
   adrdedup gen     -out reports.json -truth truth.json [-n 10382] [-dups 286] [-seed 1]
   adrdedup summary -db reports.json
   adrdedup detect  -db reports.json -batch batch.json -labels labels.json [-theta 0] [-top 20]
+                   [-memory-mb 0] [-target-partition-mb 0]
                    [-trace trace.json] [-metrics-out metrics.json]`)
 }
 
@@ -143,6 +149,8 @@ func runDetect(args []string) error {
 	stragglerMS := fs.Float64("straggler-ms", 0, "virtual slowdown charged to each injected straggler (ms; 0 = default)")
 	failExecutors := fs.Float64("fail-executors", 0, "deterministic executor-kill rate per stage submission (lost shuffle outputs are recomputed from lineage)")
 	maxStageRetries := fs.Int("max-stage-retries", 0, "stage resubmissions after shuffle fetch failures before aborting (0 = default)")
+	memoryMB := fs.Int("memory-mb", 0, "per-executor memory budget in MB; blocks and shuffle buffers over budget spill to virtual disk (0 = unbounded default)")
+	targetPartitionMB := fs.Int("target-partition-mb", 0, "adaptive post-shuffle coalescing target partition size in MB (0 = off)")
 	tracePath := fs.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
 	metricsPath := fs.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -182,6 +190,9 @@ func runDetect(args []string) error {
 			StragglerVirtualMS:  *stragglerMS,
 			ExecutorFailureRate: *failExecutors,
 			MaxStageRetries:     *maxStageRetries,
+			MemoryPerExecutorMB: *memoryMB,
+			SpillToDisk:         *memoryMB > 0,
+			TargetPartitionMB:   *targetPartitionMB,
 		},
 		Classifier:     core.Config{K: *k, B: *b, Theta: *theta},
 		Candidates:     strategy,

@@ -13,10 +13,14 @@ type BlockID struct {
 }
 
 // BlockStore is the cluster's in-memory partition cache, the analogue of
-// Spark's block manager with MEMORY_ONLY storage. Capacity is the sum of the
-// executors' memory budgets; when an insert would exceed it, least-recently
-// used blocks are evicted. Evicted partitions are recomputed from lineage by
-// the RDD layer on the next read (and the recomputation is counted).
+// Spark's block manager. Capacity is the sum of the executors' memory
+// budgets; when an insert would exceed it, least-recently used blocks are
+// displaced. What displacement means depends on the block: with
+// Config.SpillToDisk set and a SpillCodec attached (PutSpillable), the block
+// is spilled to executor-local disk — MEMORY_AND_DISK storage — and read back
+// transparently on the next Get, charging virtual disk time. Blocks without
+// a codec (or with spilling off) are evicted as before and recomputed from
+// lineage by the RDD layer on the next read.
 type BlockStore struct {
 	cluster  *Cluster
 	mu       sync.Mutex
@@ -24,6 +28,10 @@ type BlockStore struct {
 	used     int64
 	lru      *list.List // front = most recently used; holds *blockEntry
 	index    map[BlockID]*list.Element
+	// spilled holds blocks displaced to the disk tier; they are out of the
+	// LRU and do not count toward used. Like shuffle files, a spilled
+	// block lives on its executor's local disk and dies with the host.
+	spilled map[BlockID]*blockEntry
 }
 
 type blockEntry struct {
@@ -34,6 +42,10 @@ type blockEntry struct {
 	// marks blocks that survive executor failures (checkpoints, driver-
 	// side inserts).
 	executor int
+	// codec, when non-nil, makes the block spillable instead of evictable.
+	codec SpillCodec
+	// spill is set while the block lives on disk (data is nil then).
+	spill *SpillRef
 }
 
 // ReliableStorage is the executor argument for blocks that are not hosted on
@@ -46,25 +58,76 @@ func newBlockStore(capacity int64, c *Cluster) *BlockStore {
 		capacity: capacity,
 		lru:      list.New(),
 		index:    make(map[BlockID]*list.Element),
+		spilled:  make(map[BlockID]*blockEntry),
 	}
 }
 
 // Get returns the cached partition and whether it was present, updating
-// recency on a hit.
+// recency on a hit. Spilled blocks are read back transparently; the virtual
+// disk time that costs is charged to the cluster clock. Tasks should prefer
+// GetWithCost so the charge lands on their own attempt.
 func (b *BlockStore) Get(id BlockID) (any, bool) {
+	data, ns, ok := b.GetWithCost(id)
+	if ns > 0 {
+		b.cluster.mu.Lock()
+		b.cluster.virtualNS += ns
+		b.cluster.mu.Unlock()
+	}
+	return data, ok
+}
+
+// GetWithCost is Get returning the virtual disk time of any spill read-back
+// the hit required, so task-side callers can charge it to their attempt.
+func (b *BlockStore) GetWithCost(id BlockID) (any, float64, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	el, ok := b.index[id]
-	if !ok {
-		b.cluster.metrics.BlockMisses.Add(1)
-		b.traceBlock(EventBlockMiss, id, 0)
-		return nil, false
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		b.cluster.metrics.BlockHits.Add(1)
+		e := el.Value.(*blockEntry)
+		b.traceBlock(EventBlockHit, id, e.bytes)
+		return e.data, 0, true
 	}
-	b.lru.MoveToFront(el)
-	b.cluster.metrics.BlockHits.Add(1)
-	e := el.Value.(*blockEntry)
-	b.traceBlock(EventBlockHit, id, e.bytes)
-	return e.data, true
+	if e, ok := b.spilled[id]; ok {
+		data, ns, err := b.unspillLocked(e)
+		if err == nil {
+			b.cluster.metrics.BlockHits.Add(1)
+			b.traceBlock(EventBlockHit, id, e.bytes)
+			return data, ns, true
+		}
+		// A block that cannot come back from disk is simply gone; lineage
+		// recompute covers it like an eviction would.
+	}
+	b.cluster.metrics.BlockMisses.Add(1)
+	b.traceBlock(EventBlockMiss, id, 0)
+	return nil, 0, false
+}
+
+// unspillLocked reads one spilled block back into the memory tier,
+// re-admitting it at the LRU front (which may displace others). On any
+// read-back failure the block is dropped entirely. Callers hold b.mu.
+func (b *BlockStore) unspillLocked(e *blockEntry) (any, float64, error) {
+	ref := *e.spill
+	delete(b.spilled, e.id)
+	raw, err := b.cluster.spill.Get(ref)
+	if err == nil {
+		var data any
+		data, err = e.codec.Decode(raw)
+		if err == nil {
+			e.data = data
+			e.spill = nil
+			b.cluster.spill.Free(ref)
+			b.index[e.id] = b.lru.PushFront(e)
+			b.used += e.bytes
+			for b.used > b.capacity {
+				b.displaceLocked()
+			}
+			ns := b.cluster.recordSpillLoad(ref, fmt.Sprintf("rdd%d/p%d", e.id.RDD, e.id.Partition))
+			return data, ns, nil
+		}
+	}
+	b.cluster.spill.Free(ref)
+	return nil, 0, err
 }
 
 // traceBlock emits one block-store trace event; the Enabled check keeps the
@@ -80,36 +143,51 @@ func (b *BlockStore) traceBlock(kind EventKind, id BlockID, bytes int64) {
 // Put caches a partition hosted on the given executor (ReliableStorage for
 // blocks that survive executor loss). Blocks larger than the whole store are
 // rejected (the partition stays recompute-only). Existing entries are
-// replaced, adopting the new host.
+// replaced, adopting the new host. Blocks stored through Put carry no codec
+// and are evicted (not spilled) under memory pressure.
 func (b *BlockStore) Put(id BlockID, data any, bytes int64, executor int) bool {
-	if bytes > b.capacity {
+	return b.PutSpillable(id, data, bytes, executor, nil)
+}
+
+// PutSpillable is Put with a SpillCodec attached: under memory pressure the
+// block is spilled to the executor's local disk instead of evicted, provided
+// Config.SpillToDisk is set.
+func (b *BlockStore) PutSpillable(id BlockID, data any, bytes int64, executor int, codec SpillCodec) bool {
+	if bytes > b.capacity && !(b.cluster.cfg.SpillToDisk && codec != nil) {
 		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if e, ok := b.spilled[id]; ok {
+		// Replacing a spilled block: the on-disk copy is stale.
+		b.cluster.spill.Free(*e.spill)
+		delete(b.spilled, id)
+	}
 	if el, ok := b.index[id]; ok {
 		e := el.Value.(*blockEntry)
 		b.used += bytes - e.bytes
 		e.data = data
 		e.bytes = bytes
 		e.executor = executor
+		e.codec = codec
 		b.lru.MoveToFront(el)
 	} else {
-		e := &blockEntry{id: id, data: data, bytes: bytes, executor: executor}
+		e := &blockEntry{id: id, data: data, bytes: bytes, executor: executor, codec: codec}
 		b.index[id] = b.lru.PushFront(e)
 		b.used += bytes
 		b.cluster.metrics.BlocksCached.Add(1)
 		b.traceBlock(EventBlockCached, id, bytes)
 	}
 	for b.used > b.capacity {
-		b.evictLocked()
+		b.displaceLocked()
 	}
 	return true
 }
 
-// InvalidateExecutor drops every cached partition hosted on executor e,
-// returning how many disappeared. Dropped partitions are recomputed from
-// lineage on the next read, exactly like evicted ones.
+// InvalidateExecutor drops every cached partition hosted on executor e —
+// resident and spilled alike: a spilled block lives on the dead host's local
+// disk — returning how many disappeared. Dropped partitions are recomputed
+// from lineage on the next read, exactly like evicted ones.
 func (b *BlockStore) InvalidateExecutor(e int) int {
 	if e == ReliableStorage {
 		return 0
@@ -129,16 +207,43 @@ func (b *BlockStore) InvalidateExecutor(e int) int {
 		b.used -= be.bytes
 		n++
 	}
+	for id, be := range b.spilled {
+		if be.executor != e {
+			continue
+		}
+		b.cluster.spill.Free(*be.spill)
+		delete(b.spilled, id)
+		n++
+	}
 	return n
 }
 
-// evictLocked removes the least-recently-used block. Callers hold b.mu.
-func (b *BlockStore) evictLocked() {
+// displaceLocked removes the least-recently-used block from the memory tier:
+// spillable blocks (PutSpillable + Config.SpillToDisk) move to the disk tier,
+// everything else is evicted and must be recomputed from lineage. Callers
+// hold b.mu.
+func (b *BlockStore) displaceLocked() {
 	el := b.lru.Back()
 	if el == nil {
 		return
 	}
 	e := el.Value.(*blockEntry)
+	if b.cluster.cfg.SpillToDisk && e.codec != nil {
+		if raw, err := e.codec.Encode(e.data); err == nil {
+			if ref, err := b.cluster.spill.Put(raw, e.executor); err == nil {
+				b.lru.Remove(el)
+				delete(b.index, e.id)
+				b.used -= e.bytes
+				e.data = nil
+				e.spill = &ref
+				b.spilled[e.id] = e
+				b.cluster.recordSpill(ref, fmt.Sprintf("rdd%d/p%d", e.id.RDD, e.id.Partition))
+				return
+			}
+		}
+		// Encoding or disk trouble: fall back to plain eviction; lineage
+		// recompute keeps the job correct either way.
+	}
 	b.lru.Remove(el)
 	delete(b.index, e.id)
 	b.used -= e.bytes
@@ -156,6 +261,10 @@ func (b *BlockStore) Remove(id BlockID) {
 		delete(b.index, id)
 		b.used -= e.bytes
 	}
+	if e, ok := b.spilled[id]; ok {
+		b.cluster.spill.Free(*e.spill)
+		delete(b.spilled, id)
+	}
 }
 
 // DropAll clears the cache (test/benchmark hygiene between runs).
@@ -164,10 +273,15 @@ func (b *BlockStore) DropAll() {
 	defer b.mu.Unlock()
 	b.lru.Init()
 	b.index = make(map[BlockID]*list.Element)
+	for _, e := range b.spilled {
+		b.cluster.spill.Free(*e.spill)
+	}
+	b.spilled = make(map[BlockID]*blockEntry)
 	b.used = 0
 }
 
-// Used returns the bytes currently cached.
+// Used returns the bytes currently resident in the memory tier (spilled
+// blocks count zero — that is the point of spilling).
 func (b *BlockStore) Used() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -177,9 +291,16 @@ func (b *BlockStore) Used() int64 {
 // Capacity returns the store's byte capacity.
 func (b *BlockStore) Capacity() int64 { return b.capacity }
 
-// Len returns the number of cached blocks.
+// Len returns the number of cached blocks, resident plus spilled.
 func (b *BlockStore) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.index)
+	return len(b.index) + len(b.spilled)
+}
+
+// SpilledLen returns how many blocks currently live in the disk tier.
+func (b *BlockStore) SpilledLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spilled)
 }

@@ -163,6 +163,9 @@ func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
 		case 1:
 			in := state
 			shID := c.Shuffles().Register()
+			// The codec lets the memory-budget tiers spill these blocks;
+			// without budgets it is inert.
+			c.Shuffles().SetCodec(shID, GobCodec[[]int64]())
 			// mapOutput writes one parent partition's buckets under an
 			// explicit map-task identity so executor-loss recomputation
 			// reproduces the original block keys.
@@ -237,11 +240,25 @@ func runChaosProgram(c *Cluster, p chaosProgram) ([][]int64, []int64, error) {
 	return state, sums, nil
 }
 
+// chaosMemTiers is the harness's memory-budget axis: unbounded keeps every
+// shuffle block resident (and must record zero spills), tight leaves room for
+// a handful of 64-byte blocks per executor, and oneblock is the pathological
+// budget where a single maximal block fills an executor and almost every
+// commit spills. Spilling must be invisible to everything the oracle checks.
+var chaosMemTiers = []struct {
+	name   string
+	budget int64 // bytes per executor; 0 = unbounded
+}{
+	{"unbounded", 0},
+	{"tight", 256},
+	{"oneblock", 64},
+}
+
 // chaosConfig builds the cluster configuration for one combo. MaxTaskRetries
 // is set high enough that retry exhaustion is effectively impossible, so
 // pass/fail stays deterministic per seed (a speculative chain rescuing an
 // exhausted primary would otherwise depend on real-time racing).
-func chaosConfig(seed int64, executors int, failureRate, execFail float64, stragglers, speculation bool) Config {
+func chaosConfig(seed int64, executors int, failureRate, execFail float64, stragglers, speculation bool, memBudget int64) Config {
 	cfg := Config{
 		Executors:             executors,
 		CoresPerExecutor:      1,
@@ -257,6 +274,10 @@ func chaosConfig(seed int64, executors int, failureRate, execFail float64, strag
 	}
 	if stragglers {
 		cfg.StragglerRate = 0.3
+	}
+	if memBudget > 0 {
+		cfg.SpillToDisk = true
+		cfg.MemoryPerExecutorBytes = memBudget
 	}
 	return cfg
 }
@@ -275,14 +296,19 @@ func int64sEqual(a, b []int64) bool {
 
 // TestChaos is the deterministic chaos harness: 10 seeded programs x
 // {1,4,8 executors} x {fault injection off/on} x {executor kills off/on} x
-// {stragglers off/on} x {speculation off/on} = 480 combinations, every one
-// bit-identical to the sequential oracle. Executor kills exercise the full
-// recovery path — host-local shuffle loss, FetchFailed, lineage
-// resubmission — and the committed counters must still match the oracle
-// exactly: patch-up recomputation runs in recovery mode and contributes no
-// work-counter deltas. A combo that exhausts MaxStageRetries must fail with
-// the typed StageAbortedError, and must fail identically when re-run. Short
-// mode trims the seed set, keeping the full grid shape.
+// {stragglers off/on} x {speculation off/on} x {unbounded/tight/oneblock
+// memory budget} = 1440 combinations, every one bit-identical to the
+// sequential oracle. Executor kills exercise the full recovery path —
+// host-local shuffle loss, FetchFailed, lineage resubmission — and the
+// committed counters must still match the oracle exactly: patch-up
+// recomputation runs in recovery mode and contributes no work-counter
+// deltas. The memory tiers force shuffle blocks through the disk overflow
+// tier; spilling must be visible only in the SpillEvents/SpilledBytes
+// counters (accounted separately, like the recovery counters), never in
+// partition contents, published results, or work counters. A combo that
+// exhausts MaxStageRetries must fail with the typed StageAbortedError, and
+// must fail identically when re-run. Short mode trims the seed set, keeping
+// the full grid shape.
 func TestChaos(t *testing.T) {
 	seeds := 10
 	if testing.Short() {
@@ -296,67 +322,91 @@ func TestChaos(t *testing.T) {
 				for _, execFail := range []float64{0, 0.3} {
 					for _, stragglers := range []bool{false, true} {
 						for _, speculation := range []bool{false, true} {
-							name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/kill=%v/strag=%v/spec=%v",
-								seed, executors, failureRate, execFail, stragglers, speculation)
-							cfg := chaosConfig(seed, executors, failureRate, execFail, stragglers, speculation)
-							t.Run(name, func(t *testing.T) {
-								t.Parallel()
-								c := New(cfg)
-								state, sums, err := runChaosProgram(c, prog)
-								if err != nil {
-									if execFail == 0 {
-										t.Fatalf("program failed without executor kills: %v", err)
+							for _, tier := range chaosMemTiers {
+								name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/kill=%v/strag=%v/spec=%v/mem=%s",
+									seed, executors, failureRate, execFail, stragglers, speculation, tier.name)
+								cfg := chaosConfig(seed, executors, failureRate, execFail, stragglers, speculation, tier.budget)
+								unbounded := tier.budget == 0
+								t.Run(name, func(t *testing.T) {
+									t.Parallel()
+									c := New(cfg)
+									defer c.Close()
+									state, sums, err := runChaosProgram(c, prog)
+									if err != nil {
+										if execFail == 0 {
+											t.Fatalf("program failed without executor kills: %v", err)
+										}
+										// Retry exhaustion is the only legitimate
+										// failure, it must carry the typed abort,
+										// and a re-run must abort the same stage.
+										// (The FetchFailed cause may name a
+										// different lost subset: which outputs
+										// are still missing at the final fetch
+										// depends on real-time attempt races.)
+										var abort *StageAbortedError
+										if !errors.As(err, &abort) {
+											t.Fatalf("program failed without typed stage abort: %v", err)
+										}
+										c2 := New(cfg)
+										defer c2.Close()
+										_, _, err2 := runChaosProgram(c2, prog)
+										var abort2 *StageAbortedError
+										if err2 == nil || !errors.As(err2, &abort2) || abort.Stage != abort2.Stage {
+											t.Fatalf("abort not deterministic:\n  first: %v\n second: %v", err, err2)
+										}
+										return
 									}
-									// Retry exhaustion is the only legitimate
-									// failure, it must carry the typed abort,
-									// and it must reproduce exactly.
-									if !errors.Is(err, ErrStageAborted) {
-										t.Fatalf("program failed without typed stage abort: %v", err)
+									if len(state) != len(want.finalState) {
+										t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
 									}
-									_, _, err2 := runChaosProgram(New(cfg), prog)
-									if err2 == nil || err.Error() != err2.Error() {
-										t.Fatalf("abort not deterministic:\n  first: %v\n second: %v", err, err2)
+									for i := range state {
+										if !int64sEqual(state[i], want.finalState[i]) {
+											t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+										}
 									}
-									return
-								}
-								if len(state) != len(want.finalState) {
-									t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
-								}
-								for i := range state {
-									if !int64sEqual(state[i], want.finalState[i]) {
-										t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+									for i := range sums {
+										if sums[i] != want.finalResults[i] {
+											t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+										}
 									}
-								}
-								for i := range sums {
-									if sums[i] != want.finalResults[i] {
-										t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+									m := c.Metrics().Snapshot()
+									// Counters are commit-gated: retried, cancelled,
+									// and speculation-losing attempts must not leak.
+									if m.RecordsProcessed != want.records {
+										t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
 									}
-								}
-								m := c.Metrics().Snapshot()
-								// Counters are commit-gated: retried, cancelled,
-								// and speculation-losing attempts must not leak.
-								if m.RecordsProcessed != want.records {
-									t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
-								}
-								if m.Comparisons != want.comparisons {
-									t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
-								}
-								if m.ShuffleRecordsWritten != want.shufRecords {
-									t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
-								}
-								if m.ShuffleBytesWritten != want.shufWritten {
-									t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
-								}
-								if m.ShuffleBytesRead != want.shufRead {
-									t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
-								}
-								if !stragglers && m.StragglersInjected != 0 {
-									t.Errorf("StragglersInjected = %d with injection off", m.StragglersInjected)
-								}
-								if !speculation && m.SpeculativeTasksLaunched != 0 {
-									t.Errorf("SpeculativeTasksLaunched = %d with speculation off", m.SpeculativeTasksLaunched)
-								}
-							})
+									if m.Comparisons != want.comparisons {
+										t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
+									}
+									if m.ShuffleRecordsWritten != want.shufRecords {
+										t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
+									}
+									if m.ShuffleBytesWritten != want.shufWritten {
+										t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
+									}
+									if m.ShuffleBytesRead != want.shufRead {
+										t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
+									}
+									if !stragglers && m.StragglersInjected != 0 {
+										t.Errorf("StragglersInjected = %d with injection off", m.StragglersInjected)
+									}
+									if !speculation && m.SpeculativeTasksLaunched != 0 {
+										t.Errorf("SpeculativeTasksLaunched = %d with speculation off", m.SpeculativeTasksLaunched)
+									}
+									// Spill counters are accounted separately, like
+									// the recovery counters: they may vary with
+									// attempt races, but must be zero without a
+									// budget and never bleed into work counters
+									// (asserted bit-exact above).
+									if unbounded && (m.SpillEvents != 0 || m.SpilledBytes != 0) {
+										t.Errorf("SpillEvents/SpilledBytes = %d/%d with no memory budget",
+											m.SpillEvents, m.SpilledBytes)
+									}
+									if m.SpillEvents == 0 && m.SpilledBytes != 0 {
+										t.Errorf("SpilledBytes = %d with zero SpillEvents", m.SpilledBytes)
+									}
+								})
+							}
 						}
 					}
 				}
@@ -365,11 +415,48 @@ func TestChaos(t *testing.T) {
 	}
 }
 
+// TestChaosMemoryPressureSpills pins that the pathological one-block budget
+// actually drives the overflow tier on a shuffle-heavy program (the grid
+// above only proves spilling is *harmless*): a single-executor, fault-free
+// run must both spill and stay bit-identical to the oracle.
+func TestChaosMemoryPressureSpills(t *testing.T) {
+	prog := chaosProgram{
+		initial: [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12, 13, 14, 15, 16}},
+		ops: []chaosOp{
+			{kind: 1, newParts: 2},
+			{kind: 0, mulA: 3, addB: 1},
+			{kind: 1, newParts: 3},
+		},
+	}
+	want := chaosOracle(prog)
+	c := New(chaosConfig(1, 1, 0, 0, false, false, 64))
+	defer c.Close()
+	state, _, err := runChaosProgram(c, prog)
+	if err != nil {
+		t.Fatalf("program failed: %v", err)
+	}
+	for i := range state {
+		if !int64sEqual(state[i], want.finalState[i]) {
+			t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+		}
+	}
+	m := c.Metrics().Snapshot()
+	if m.SpillEvents == 0 || m.SpilledBytes == 0 {
+		t.Fatalf("SpillEvents/SpilledBytes = %d/%d, want both > 0 under the one-block budget",
+			m.SpillEvents, m.SpilledBytes)
+	}
+	if m.RecordsProcessed != want.records || m.ShuffleBytesRead != want.shufRead {
+		t.Errorf("work counters diverged under spilling: records %d/%d, shufRead %d/%d",
+			m.RecordsProcessed, want.records, m.ShuffleBytesRead, want.shufRead)
+	}
+}
+
 // TestChaosComboCount pins the harness's combination count to the
-// acceptance floor (>= 240 in full mode).
+// acceptance floor (>= 720 in full mode: the original 240-combo floor
+// tripled by the memory-budget axis).
 func TestChaosComboCount(t *testing.T) {
-	combos := 10 * 3 * 2 * 2 * 2 * 2
-	if combos < 240 {
-		t.Fatalf("chaos grid has %d combos, need >= 240", combos)
+	combos := 10 * 3 * 2 * 2 * 2 * 2 * len(chaosMemTiers)
+	if combos < 720 {
+		t.Fatalf("chaos grid has %d combos, need >= 720", combos)
 	}
 }

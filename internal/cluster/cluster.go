@@ -66,6 +66,28 @@ type Config struct {
 	// MemoryPerExecutorMB bounds both the block cache share and the task
 	// working-set pressure threshold of each executor.
 	MemoryPerExecutorMB int
+	// MemoryPerExecutorBytes, when positive, overrides MemoryPerExecutorMB
+	// at byte granularity. Chaos and property tests use it to force memory
+	// pressure on workloads far smaller than a megabyte.
+	MemoryPerExecutorBytes int64
+	// SpillToDisk enables the disk overflow tier: blocks that exceed an
+	// executor's memory budget (cached partitions in the block store,
+	// committed shuffle buffers) are framed, compressed, and spilled to
+	// executor-local disk instead of being dropped, and read back
+	// transparently, charging virtual disk time at SpillMBps. Off by
+	// default: without it the engine keeps its historical
+	// evict-and-recompute behaviour.
+	SpillToDisk bool
+	// SpillMBps is the simulated executor-local disk bandwidth used to
+	// charge virtual time for spill writes and read-backs, the disk
+	// analogue of NetworkMBps. 0 selects the default 500.
+	SpillMBps float64
+	// TargetPartitionMB enables Spark-AQE-style adaptive post-shuffle
+	// partition coalescing: after a map stage commits, consecutive reduce
+	// partitions smaller than this target are merged toward
+	// TargetPartitionMB bytes each (stage_coalesce trace events,
+	// CoalescedPartitions metric). 0 disables coalescing.
+	TargetPartitionMB int
 	// NetworkMBps is the simulated per-executor network bandwidth used to
 	// charge virtual time for shuffle reads and broadcasts.
 	NetworkMBps float64
@@ -255,7 +277,19 @@ func (c Config) withDefaults() Config {
 	} else if c.StragglerRealDelayMS < 0 {
 		c.StragglerRealDelayMS = 0
 	}
+	if c.SpillMBps <= 0 {
+		c.SpillMBps = 500
+	}
 	return c
+}
+
+// executorMemoryBytes returns one executor's memory budget in bytes,
+// honouring the fine-grained byte override.
+func (c Config) executorMemoryBytes() int64 {
+	if c.MemoryPerExecutorBytes > 0 {
+		return c.MemoryPerExecutorBytes
+	}
+	return int64(c.MemoryPerExecutorMB) * mb
 }
 
 // Cluster is a simulated Spark cluster. All methods are safe for concurrent
@@ -271,6 +305,7 @@ type Cluster struct {
 	blocks      *BlockStore
 	shuffles    *ShuffleService
 	checkpoints *CheckpointStore
+	spill       *SpillStore
 	metrics     *Metrics
 	history     stageHistory
 	tracer      *Tracer
@@ -281,8 +316,9 @@ func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg}
 	c.execs = make([]executorMeta, cfg.Executors)
-	c.blocks = newBlockStore(int64(cfg.Executors)*int64(cfg.MemoryPerExecutorMB)*mb, c)
-	c.shuffles = newShuffleService()
+	c.spill = newSpillStore(c)
+	c.blocks = newBlockStore(int64(cfg.Executors)*cfg.executorMemoryBytes(), c)
+	c.shuffles = newShuffleService(c)
 	c.checkpoints = newCheckpointStore(c)
 	c.metrics = &Metrics{}
 	c.tracer = NewTracer(cfg.TraceCapacity)
@@ -290,6 +326,13 @@ func New(cfg Config) *Cluster {
 		c.tracer.Enable()
 	}
 	return c
+}
+
+// Close releases the cluster's disk-backed resources (spilled block files).
+// A cluster that never spilled holds none, so Close is optional for
+// unbounded runs and cheap either way.
+func (c *Cluster) Close() {
+	c.spill.Close()
 }
 
 const mb = int64(1 << 20)

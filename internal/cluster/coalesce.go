@@ -1,0 +1,71 @@
+package cluster
+
+import "fmt"
+
+// CoalescePlan computes the adaptive post-shuffle partition grouping for a
+// committed shuffle — Spark AQE's CoalesceShufflePartitions, driven by the
+// byte accounting the shuffle service keeps per reduce partition.
+//
+// Consecutive reduce partitions are merged greedily: a partition joins the
+// current group only while the group's total stays within
+// Config.TargetPartitionMB, so a merged group never exceeds the target; a
+// single partition already above the target stands alone. Merging only
+// consecutive partitions preserves both reduce-side input order within each
+// output partition and global order across them (range-partitioned sorts
+// stay sorted). Every input partition lands in exactly one group, so total
+// bytes and records are preserved exactly.
+//
+// It returns nil — run the stage unchanged — when coalescing is disabled
+// (TargetPartitionMB <= 0), the shuffle has at most one partition, or no
+// merge is possible. A non-nil plan emits one stage_coalesce trace event and
+// counts the eliminated partitions in CoalescedPartitions.
+// CoalescingEnabled reports whether adaptive post-shuffle partition
+// coalescing is configured (Config.TargetPartitionMB > 0). The RDD layer
+// checks it at build time: a shuffle that may later coalesce cannot promise
+// its declared partition count, so co-partitioning shortcuts are disabled.
+func (c *Cluster) CoalescingEnabled() bool { return c.cfg.TargetPartitionMB > 0 }
+
+func (c *Cluster) CoalescePlan(shuffleID, numPartitions int, stage string) [][]int {
+	if c.cfg.TargetPartitionMB <= 0 || numPartitions <= 1 {
+		return nil
+	}
+	bytes, _ := c.shuffles.partitionSizes(shuffleID, numPartitions)
+	groups := coalesceGroups(bytes, int64(c.cfg.TargetPartitionMB)*mb)
+	if len(groups) >= numPartitions {
+		return nil
+	}
+	c.metrics.CoalescedPartitions.Add(int64(numPartitions - len(groups)))
+	if c.tracer.Enabled() {
+		var total int64
+		for _, b := range bytes {
+			total += b
+		}
+		c.tracer.Emit(Event{Kind: EventStageCoalesce, Stage: stage, Task: -1, Attempt: -1,
+			Executor: -1, Bytes: total,
+			Detail: fmt.Sprintf("shuffle %d: %d -> %d partitions (target %d MB)",
+				shuffleID, numPartitions, len(groups), c.cfg.TargetPartitionMB)})
+	}
+	return groups
+}
+
+// coalesceGroups greedily merges consecutive partitions so that no merged
+// group's byte total exceeds target. An oversized partition forms its own
+// singleton group (it was already above the ceiling on input; splitting is
+// not the coalescer's job).
+func coalesceGroups(bytes []int64, target int64) [][]int {
+	groups := make([][]int, 0, len(bytes))
+	var cur []int
+	var curBytes int64
+	for p, b := range bytes {
+		if len(cur) > 0 && curBytes+b > target {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, p)
+		curBytes += b
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}

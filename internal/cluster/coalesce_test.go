@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCoalesceGroupsProperties is the quick.Check property suite for the
+// adaptive coalescer's planning function. For random partition byte sizes and
+// targets it asserts the two invariants everything downstream relies on:
+//
+//  1. Ceiling: a merged group (>= 2 members) never exceeds the target. A
+//     singleton may — an input partition already above the target is not the
+//     coalescer's to split — but no merge ever *creates* an over-target
+//     partition when its inputs were below it.
+//  2. Conservation: every input partition index appears in exactly one group,
+//     in ascending order across and within groups, so total bytes and records
+//     are preserved exactly and reduce-side input order is untouched.
+func TestCoalesceGroupsProperties(t *testing.T) {
+	prop := func(sizes []uint16, targetSeed uint16) bool {
+		bytes := make([]int64, len(sizes))
+		for i, s := range sizes {
+			bytes[i] = int64(s)
+		}
+		target := int64(targetSeed)%8192 + 1
+		groups := coalesceGroups(bytes, target)
+
+		next := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			var sum int64
+			for _, p := range g {
+				if p != next { // exactly-once, ascending, consecutive
+					return false
+				}
+				next++
+				sum += bytes[p]
+			}
+			if len(g) > 1 && sum > target {
+				return false // merging pushed a group over the ceiling
+			}
+		}
+		return next == len(bytes)
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(42)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceGroupsGreedy pins concrete plans: undersized runs merge up to
+// the target, oversized partitions stand alone.
+func TestCoalesceGroupsGreedy(t *testing.T) {
+	groups := coalesceGroups([]int64{10, 10, 10, 100, 5, 5}, 30)
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("groups = %v, want %v", groups, want)
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("groups = %v, want %v", groups, want)
+			}
+		}
+	}
+}
+
+// TestCoalescePlan covers the cluster-level planner: disabled and
+// single-partition shuffles return nil, a real merge counts the eliminated
+// partitions and conserves bytes/records through partitionSizes.
+func TestCoalescePlan(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		c := New(Config{})
+		defer c.Close()
+		id := c.Shuffles().Register()
+		if plan := c.CoalescePlan(id, 4, "s"); plan != nil {
+			t.Fatalf("plan = %v with coalescing disabled, want nil", plan)
+		}
+	})
+
+	t.Run("merges-and-counts", func(t *testing.T) {
+		c := New(Config{TargetPartitionMB: 1})
+		defer c.Close()
+		id := c.Shuffles().Register()
+		// Four reduce partitions, ~quarter-target each: all four merge.
+		const mb4 = int64(1) << 18
+		for rid := 0; rid < 4; rid++ {
+			c.Shuffles().write(id, rid, 0, rid, 0, []int64{1}, 1, mb4)
+		}
+		plan := c.CoalescePlan(id, 4, "s")
+		if len(plan) != 1 || len(plan[0]) != 4 {
+			t.Fatalf("plan = %v, want one group of four", plan)
+		}
+		if got := c.Metrics().Snapshot().CoalescedPartitions; got != 3 {
+			t.Fatalf("CoalescedPartitions = %d, want 3", got)
+		}
+		// Conservation: the plan's groups cover the same bytes and records
+		// partitionSizes reports for the ungrouped shuffle.
+		bytes, records := c.Shuffles().partitionSizes(id, 4)
+		var wantB, wantR, gotB, gotR int64
+		for rid := 0; rid < 4; rid++ {
+			wantB += bytes[rid]
+			wantR += records[rid]
+		}
+		for _, g := range plan {
+			for _, p := range g {
+				gotB += bytes[p]
+				gotR += records[p]
+			}
+		}
+		if gotB != wantB || gotR != wantR {
+			t.Fatalf("plan covers %d bytes / %d records, want %d / %d", gotB, gotR, wantB, wantR)
+		}
+	})
+
+	t.Run("no-merge-possible", func(t *testing.T) {
+		c := New(Config{TargetPartitionMB: 1})
+		defer c.Close()
+		id := c.Shuffles().Register()
+		for rid := 0; rid < 3; rid++ {
+			c.Shuffles().write(id, rid, 0, rid, 0, []int64{1}, 1, 2*int64(1)<<20)
+		}
+		if plan := c.CoalescePlan(id, 3, "s"); plan != nil {
+			t.Fatalf("plan = %v for all-oversized partitions, want nil", plan)
+		}
+	})
+}

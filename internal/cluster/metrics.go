@@ -54,6 +54,19 @@ type Metrics struct {
 	RecomputedTasks        atomic.Int64
 	CheckpointedPartitions atomic.Int64
 	CheckpointBytes        atomic.Int64
+
+	// Memory-bounded engine counters. SpillEvents counts blocks written to
+	// the disk overflow tier (block cache overflow, shuffle buffers over
+	// the executor budget, external-merge runs); SpilledBytes the framed,
+	// compressed bytes they put on disk. CoalescedPartitions counts reduce
+	// partitions eliminated by adaptive post-shuffle coalescing (inputs
+	// merged away, i.e. pre-count minus post-count summed over coalesced
+	// stages). Like the recovery counters these account mechanism cost
+	// separately from work: Records/Comparisons/Shuffle counters stay
+	// bit-identical between budgeted and unbounded runs of the same job.
+	SpillEvents         atomic.Int64
+	SpilledBytes        atomic.Int64
+	CoalescedPartitions atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -87,6 +100,10 @@ type MetricsSnapshot struct {
 	RecomputedTasks        int64
 	CheckpointedPartitions int64
 	CheckpointBytes        int64
+
+	SpillEvents         int64
+	SpilledBytes        int64
+	CoalescedPartitions int64
 }
 
 // Snapshot copies the current counter values.
@@ -121,6 +138,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RecomputedTasks:        m.RecomputedTasks.Load(),
 		CheckpointedPartitions: m.CheckpointedPartitions.Load(),
 		CheckpointBytes:        m.CheckpointBytes.Load(),
+
+		SpillEvents:         m.SpillEvents.Load(),
+		SpilledBytes:        m.SpilledBytes.Load(),
+		CoalescedPartitions: m.CoalescedPartitions.Load(),
 	}
 }
 
@@ -153,4 +174,7 @@ func (m *Metrics) Reset() {
 	m.RecomputedTasks.Store(0)
 	m.CheckpointedPartitions.Store(0)
 	m.CheckpointBytes.Store(0)
+	m.SpillEvents.Store(0)
+	m.SpilledBytes.Store(0)
+	m.CoalescedPartitions.Store(0)
 }

@@ -19,14 +19,14 @@ import (
 // sequential oracle; these tests pin the individual mechanisms.
 
 func TestShuffleInvalidateExecutor(t *testing.T) {
-	s := newShuffleService()
+	s := newShuffleService(New(Config{}))
 	id := s.Register()
 	// Map tasks 0,1 hosted on executor 0; map task 2 on executor 1. Reduce
 	// partition 0 reads all three, partition 1 only map task 2.
-	s.write(id, 0, 0, 0, 0, "a", 1)
-	s.write(id, 0, 1, 0, 0, "b", 1)
-	s.write(id, 0, 2, 0, 1, "c", 1)
-	s.write(id, 1, 2, 0, 1, "d", 1)
+	s.write(id, 0, 0, 0, 0, "a", 1, 1)
+	s.write(id, 0, 1, 0, 0, "b", 1, 1)
+	s.write(id, 0, 2, 0, 1, "c", 1, 1)
+	s.write(id, 1, 2, 0, 1, "d", 1, 1)
 	s.MarkDone(id)
 
 	if lost := s.invalidateExecutor(1); lost != 1 {
@@ -38,7 +38,7 @@ func TestShuffleInvalidateExecutor(t *testing.T) {
 	// Both partitions that read map task 2 must fail, naming the lost map
 	// task and its executor; nothing else is lost.
 	for _, reduce := range []int{0, 1} {
-		_, _, ferr := s.fetch(id, reduce)
+		_, _, _, ferr, _ := s.fetch(id, reduce)
 		if ferr == nil {
 			t.Fatalf("fetch(partition %d) succeeded despite lost map output", reduce)
 		}
@@ -52,12 +52,12 @@ func TestShuffleInvalidateExecutor(t *testing.T) {
 
 	// Recomputing the lost map task (same block keys, new host) repairs
 	// every partition.
-	s.write(id, 0, 2, 0, 2, "c", 1)
-	s.write(id, 1, 2, 1, 2, "d", 1)
+	s.write(id, 0, 2, 0, 2, "c", 1, 1)
+	s.write(id, 1, 2, 1, 2, "d", 1, 1)
 	if got := s.LostMapTasks(id); len(got) != 0 {
 		t.Fatalf("LostMapTasks after repair = %v, want none", got)
 	}
-	blocks, _, ferr := s.fetch(id, 0)
+	blocks, _, _, ferr, _ := s.fetch(id, 0)
 	if ferr != nil {
 		t.Fatalf("fetch after repair: %v", ferr)
 	}
@@ -476,7 +476,7 @@ func TestRecoveryProperty(t *testing.T) {
 		killRate := []float64{0.2, 0.3, 0.5}[int(killSel)%3]
 		prog := genChaosProgram(seed * 31)
 		want := chaosOracle(prog)
-		cfg := chaosConfig(seed, executors, 0, killRate, false, false)
+		cfg := chaosConfig(seed, executors, 0, killRate, false, false, 0)
 		c := New(cfg)
 		state, sums, err := runChaosProgram(c, prog)
 		m := c.Metrics().Snapshot()

@@ -20,17 +20,34 @@ import (
 // downstream partition contents) deterministic regardless of the real-time
 // order in which map tasks committed.
 //
-// Unlike the pre-recovery service, blocks are host-local: every committed
-// block records the executor that produced it, and losing an executor
-// invalidates exactly its blocks. A reduce-side fetch that touches a lost
-// map output fails with *FetchFailedError naming the missing map tasks, and
-// the stage scheduler repairs the shuffle through the recompute callback the
-// producing RDD registered (SetRecompute) before resubmitting the reduce
-// stage — Spark's MapOutputTracker + lineage resubmission protocol.
+// Blocks are host-local: every committed block records the executor that
+// produced it, and losing an executor invalidates exactly its blocks. A
+// reduce-side fetch that touches a lost map output fails with
+// *FetchFailedError naming the missing map tasks, and the stage scheduler
+// repairs the shuffle through the recompute callback the producing RDD
+// registered (SetRecompute) before resubmitting the reduce stage — Spark's
+// MapOutputTracker + lineage resubmission protocol.
+//
+// # Memory budgets
+//
+// With Config.SpillToDisk set and a codec registered (SetCodec), each
+// executor's committed shuffle buffers are held to its memory budget: a
+// commit that would push the producing executor over the budget spills the
+// incoming block to that executor's local disk (framed, compressed, charged
+// at SpillMBps) instead of keeping it resident. Fetches read spilled blocks
+// back transparently, returning the extra virtual disk time for the reduce
+// attempt to charge. Spilling is a pure storage decision: fetched contents,
+// fetch ordering, and the committed byte/record counters are identical to an
+// unbounded run — only SpillEvents/SpilledBytes and the virtual clock see it.
 type ShuffleService struct {
+	cluster *Cluster
+
 	mu       sync.Mutex
 	nextID   int
 	shuffles map[int]*shuffleState
+	// residentBytes tracks each executor's in-memory committed shuffle
+	// bytes across all registered shuffles, the quantity the budget bounds.
+	residentBytes map[int]int64
 }
 
 // shuffleState is one registered shuffle's block and availability tracking.
@@ -38,7 +55,7 @@ type shuffleState struct {
 	done bool
 	// buckets[reduceID] maps each (map task, seq) key to its committed
 	// block for that reduce partition.
-	buckets map[int]map[blockKey]shuffleBlock
+	buckets map[int]map[blockKey]*shuffleBlock
 	// hosts records which executor hosts each map task's committed output.
 	hosts map[int]int
 	// lost maps each map task whose output was dropped by an executor loss
@@ -53,6 +70,10 @@ type shuffleState struct {
 	// producing layer (internal/rdd, or a raw-cluster caller) registers it
 	// alongside the map stage.
 	recompute func(lost []int) error
+	// codec, when set, lets this shuffle's blocks spill under memory
+	// pressure; without one every block stays resident (pre-budget
+	// behaviour).
+	codec SpillCodec
 }
 
 // blockKey identifies one map-output bucket within a reduce partition.
@@ -64,7 +85,11 @@ type blockKey struct {
 type shuffleBlock struct {
 	data     any
 	bytes    int64
+	records  int64
 	executor int
+	// spill is set while the block lives on its executor's disk (data is
+	// nil then).
+	spill *SpillRef
 }
 
 // ErrFetchFailed is the sentinel under every *FetchFailedError, so callers
@@ -89,13 +114,17 @@ func (e *FetchFailedError) Error() string {
 
 func (e *FetchFailedError) Unwrap() error { return ErrFetchFailed }
 
-func newShuffleService() *ShuffleService {
-	return &ShuffleService{shuffles: make(map[int]*shuffleState)}
+func newShuffleService(c *Cluster) *ShuffleService {
+	return &ShuffleService{
+		cluster:       c,
+		shuffles:      make(map[int]*shuffleState),
+		residentBytes: make(map[int]int64),
+	}
 }
 
 func newShuffleState() *shuffleState {
 	return &shuffleState{
-		buckets:    make(map[int]map[blockKey]shuffleBlock),
+		buckets:    make(map[int]map[blockKey]*shuffleBlock),
 		hosts:      make(map[int]int),
 		lost:       make(map[int]int),
 		lostByPart: make(map[int]map[int]int),
@@ -109,6 +138,16 @@ func (s *ShuffleService) Register() int {
 	s.nextID++
 	s.shuffles[s.nextID] = newShuffleState()
 	return s.nextID
+}
+
+// SetCodec registers the spill codec for a shuffle's blocks. The producing
+// layer calls it alongside Register; shuffles without a codec never spill.
+func (s *ShuffleService) SetCodec(id int, codec SpillCodec) {
+	s.mu.Lock()
+	if st, ok := s.shuffles[id]; ok {
+		st.codec = codec
+	}
+	s.mu.Unlock()
 }
 
 // SetRecompute registers the lineage callback that regenerates the given map
@@ -151,11 +190,31 @@ func (s *ShuffleService) Done(id int) bool {
 	return ok && st.done
 }
 
-// Unregister drops all blocks and tracking state of a shuffle.
+// Unregister drops all blocks and tracking state of a shuffle, releasing its
+// resident-byte shares and spilled files.
 func (s *ShuffleService) Unregister(id int) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.shuffles[id]
+	if !ok {
+		return
+	}
+	for _, bucket := range st.buckets {
+		for _, b := range bucket {
+			s.releaseLocked(b)
+		}
+	}
 	delete(s.shuffles, id)
-	s.mu.Unlock()
+}
+
+// releaseLocked returns one block's storage: its resident-byte share or its
+// spilled file. Callers hold s.mu.
+func (s *ShuffleService) releaseLocked(b *shuffleBlock) {
+	if b.spill != nil {
+		s.cluster.spill.Free(*b.spill)
+		return
+	}
+	s.residentBytes[b.executor] -= b.bytes
 }
 
 // LostMapTasks returns the map tasks whose output is currently lost, sorted
@@ -175,9 +234,8 @@ func (s *ShuffleService) LostMapTasks(id int) []int {
 	return out
 }
 
-func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq, executor int, data any, bytes int64) {
+func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq, executor int, data any, records, bytes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.shuffles[shuffleID]
 	if !ok {
 		st = newShuffleState()
@@ -185,20 +243,55 @@ func (s *ShuffleService) write(shuffleID, reduceID, mapTask, seq, executor int, 
 	}
 	bucket, ok := st.buckets[reduceID]
 	if !ok {
-		bucket = make(map[blockKey]shuffleBlock)
+		bucket = make(map[blockKey]*shuffleBlock)
 		st.buckets[reduceID] = bucket
 	}
+	key := blockKey{mapTask: mapTask, seq: seq}
 	// Last write wins; attempts of a deterministic task write identical
 	// data, so a duplicate commit leaves the bucket unchanged.
-	bucket[blockKey{mapTask: mapTask, seq: seq}] = shuffleBlock{data: data, bytes: bytes, executor: executor}
+	if old, ok := bucket[key]; ok {
+		s.releaseLocked(old)
+	}
+	blk := &shuffleBlock{data: data, bytes: bytes, records: records, executor: executor}
+
+	// Budget check: a commit that would push the producing executor's
+	// resident shuffle buffers over its memory budget spills the incoming
+	// block to local disk instead (Spark's shuffle spill, at commit
+	// granularity). Only shuffles with a registered codec can spill.
+	var spilledRef *SpillRef
+	if s.cluster.cfg.SpillToDisk && st.codec != nil &&
+		s.residentBytes[executor]+bytes > s.cluster.cfg.executorMemoryBytes() {
+		if raw, err := st.codec.Encode(data); err == nil {
+			if ref, err := s.cluster.spill.Put(raw, executor); err == nil {
+				blk.data = nil
+				blk.spill = &ref
+				spilledRef = &ref
+			}
+		}
+		// Encoding or disk trouble: keep the block resident; correctness
+		// beats the budget.
+	}
+	if blk.spill == nil {
+		s.residentBytes[executor] += bytes
+	}
+	bucket[key] = blk
 	st.hosts[mapTask] = executor
 	delete(st.lost, mapTask)
 	delete(st.lostByPart[reduceID], mapTask)
+	s.mu.Unlock()
+
+	// Account the spill outside s.mu: recordSpill takes the cluster clock
+	// and tracer locks.
+	if spilledRef != nil {
+		s.cluster.recordSpill(*spilledRef,
+			fmt.Sprintf("shuffle %d reduce %d map %d/%d", shuffleID, reduceID, mapTask, seq))
+	}
 }
 
-// invalidateExecutor drops every committed block hosted by executor e and
-// marks the affected map tasks lost, returning how many map outputs
-// disappeared across all registered shuffles.
+// invalidateExecutor drops every committed block hosted by executor e —
+// resident and spilled alike, spilled blocks living on the dead host's local
+// disk — and marks the affected map tasks lost, returning how many map
+// outputs disappeared across all registered shuffles.
 func (s *ShuffleService) invalidateExecutor(e int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -212,8 +305,9 @@ func (s *ShuffleService) invalidateExecutor(e int) int {
 			st.lost[m] = e
 			n++
 			for rid, bucket := range st.buckets {
-				for k := range bucket {
+				for k, b := range bucket {
 					if k.mapTask == m {
+						s.releaseLocked(b)
 						delete(bucket, k)
 						lp, ok := st.lostByPart[rid]
 						if !ok {
@@ -230,14 +324,17 @@ func (s *ShuffleService) invalidateExecutor(e int) int {
 }
 
 // fetch returns the reduce partition's committed blocks sorted by
-// (map task, seq), or a *FetchFailedError when any map output the partition
-// depends on was lost with its executor.
-func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64, *FetchFailedError) {
+// (map task, seq), the raw bytes moved (the network charge, identical
+// whether blocks were resident or spilled), and the virtual disk time spent
+// reading spilled blocks back. It returns a *FetchFailedError when any map
+// output the partition depends on was lost with its executor, and a hard
+// error when a spilled block cannot be decoded.
+func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64, float64, *FetchFailedError, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.shuffles[shuffleID]
 	if !ok {
-		return nil, 0, nil
+		s.mu.Unlock()
+		return nil, 0, 0, nil, nil
 	}
 	if lp := st.lostByPart[reduceID]; len(lp) > 0 {
 		ff := &FetchFailedError{ShuffleID: shuffleID, Partition: reduceID}
@@ -251,7 +348,8 @@ func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64, *FetchFai
 		}
 		sort.Ints(ff.MapTasks)
 		sort.Ints(ff.Executors)
-		return nil, 0, ff
+		s.mu.Unlock()
+		return nil, 0, 0, ff, nil
 	}
 	bucket := st.buckets[reduceID]
 	keys := make([]blockKey, 0, len(bucket))
@@ -266,12 +364,71 @@ func (s *ShuffleService) fetch(shuffleID, reduceID int) ([]any, int64, *FetchFai
 	})
 	out := make([]any, len(keys))
 	var bytes int64
+	var spilledIdx []int
+	var spilledRefs []SpillRef
+	codec := st.codec
 	for i, k := range keys {
 		b := bucket[k]
-		out[i] = b.data
 		bytes += b.bytes
+		if b.spill != nil {
+			// Defer the disk reads until s.mu is released.
+			spilledIdx = append(spilledIdx, i)
+			spilledRefs = append(spilledRefs, *b.spill)
+			continue
+		}
+		out[i] = b.data
 	}
-	return out, bytes, nil
+	s.mu.Unlock()
+
+	var spillNS float64
+	for j, i := range spilledIdx {
+		ref := spilledRefs[j]
+		raw, err := s.cluster.spill.Get(ref)
+		if err != nil {
+			return nil, 0, 0, nil, fmt.Errorf("shuffle %d partition %d: %w", shuffleID, reduceID, err)
+		}
+		data, err := codec.Decode(raw)
+		if err != nil {
+			return nil, 0, 0, nil, fmt.Errorf("shuffle %d partition %d: decoding spilled block: %w",
+				shuffleID, reduceID, err)
+		}
+		out[i] = data
+		spillNS += s.cluster.recordSpillLoad(ref,
+			fmt.Sprintf("shuffle %d reduce %d", shuffleID, reduceID))
+	}
+	return out, bytes, spillNS, nil, nil
+}
+
+// partitionSizes returns each reduce partition's committed raw bytes and
+// records (resident and spilled alike) for a shuffle with numPartitions
+// reduce partitions — the byte accounting adaptive coalescing plans from.
+func (s *ShuffleService) partitionSizes(id, numPartitions int) (bytes, records []int64) {
+	bytes = make([]int64, numPartitions)
+	records = make([]int64, numPartitions)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.shuffles[id]
+	if !ok {
+		return bytes, records
+	}
+	for rid, bucket := range st.buckets {
+		if rid < 0 || rid >= numPartitions {
+			continue
+		}
+		for _, b := range bucket {
+			bytes[rid] += b.bytes
+			records[rid] += b.records
+		}
+	}
+	return bytes, records
+}
+
+// ResidentShuffleBytes returns executor e's in-memory committed shuffle
+// bytes (the quantity the memory budget bounds), for tests and diagnostics.
+func (s *ShuffleService) ResidentShuffleBytes(e int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.residentBytes[e]
 }
 
 // Shuffles exposes the shuffle service to the RDD layer.

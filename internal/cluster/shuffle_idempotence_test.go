@@ -32,29 +32,29 @@ func TestShuffleDuplicateCommitIsIdempotent(t *testing.T) {
 				for mapTask := 0; mapTask < 3; mapTask++ {
 					seq := 0
 					for r := 0; r < tt.shards; r++ {
-						s.write(id, r, mapTask, seq, 0, []int{mapTask*100 + r}, 8)
+						s.write(id, r, mapTask, seq, 0, []int{mapTask*100 + r}, 1, 8)
 						seq++
 						if r%2 == 0 { // a second block for even partitions
-							s.write(id, r, mapTask, seq, 0, []int{mapTask*100 + r + 50}, 8)
+							s.write(id, r, mapTask, seq, 0, []int{mapTask*100 + r + 50}, 1, 8)
 							seq++
 						}
 					}
 				}
 			}
 
-			once := newShuffleService()
+			once := newShuffleService(New(Config{}))
 			idOnce := once.Register()
 			writeAll(once, idOnce)
 
-			dup := newShuffleService()
+			dup := newShuffleService(New(Config{}))
 			idDup := dup.Register()
 			for i := 0; i <= tt.dups; i++ {
 				writeAll(dup, idDup)
 			}
 
 			for r := 0; r < tt.shards; r++ {
-				wantBlocks, wantBytes, _ := once.fetch(idOnce, r)
-				gotBlocks, gotBytes, _ := dup.fetch(idDup, r)
+				wantBlocks, wantBytes, _, _, _ := once.fetch(idOnce, r)
+				gotBlocks, gotBytes, _, _, _ := dup.fetch(idDup, r)
 				if !reflect.DeepEqual(gotBlocks, wantBlocks) {
 					t.Errorf("partition %d: duplicate commits changed contents: %v != %v", r, gotBlocks, wantBlocks)
 				}
@@ -93,17 +93,17 @@ func TestShuffleFetchOrderProperty(t *testing.T) {
 			ref[[3]int{x.reduce, x.mapTask, x.seq}] = x.val
 		}
 
-		s := newShuffleService()
+		s := newShuffleService(New(Config{}))
 		id := s.Register()
 		for _, x := range writes {
-			s.write(id, x.reduce, x.mapTask, x.seq, 0, x.val, 8)
+			s.write(id, x.reduce, x.mapTask, x.seq, 0, x.val, 1, 8)
 		}
 		// Re-commit a shuffled duplicate of the final values (idempotence
 		// under re-ordered duplicate commits).
 		perm := rng.Perm(len(writes))
 		for _, pi := range perm {
 			x := writes[pi]
-			s.write(id, x.reduce, x.mapTask, x.seq, 0, ref[[3]int{x.reduce, x.mapTask, x.seq}], 8)
+			s.write(id, x.reduce, x.mapTask, x.seq, 0, ref[[3]int{x.reduce, x.mapTask, x.seq}], 1, 8)
 		}
 
 		for r := 0; r < 3; r++ {
@@ -125,7 +125,7 @@ func TestShuffleFetchOrderProperty(t *testing.T) {
 			for i, k := range keys {
 				want[i] = ref[k]
 			}
-			got, bytes, _ := s.fetch(id, r)
+			got, bytes, _, _, _ := s.fetch(id, r)
 			if len(got) == 0 && len(want) == 0 {
 				continue
 			}
@@ -146,15 +146,15 @@ func TestShuffleFetchOrderProperty(t *testing.T) {
 // TestShuffleUnregisterDropsBlocks: unregistered shuffles free their blocks
 // and later fetches see nothing.
 func TestShuffleUnregisterDropsBlocks(t *testing.T) {
-	s := newShuffleService()
+	s := newShuffleService(New(Config{}))
 	id := s.Register()
-	s.write(id, 0, 0, 0, 0, "x", 1)
+	s.write(id, 0, 0, 0, 0, "x", 1, 1)
 	s.MarkDone(id)
 	if !s.Done(id) {
 		t.Fatal("MarkDone not visible")
 	}
 	s.Unregister(id)
-	if blocks, bytes, _ := s.fetch(id, 0); len(blocks) != 0 || bytes != 0 {
+	if blocks, bytes, _, _, _ := s.fetch(id, 0); len(blocks) != 0 || bytes != 0 {
 		t.Errorf("fetch after Unregister returned %v (%d bytes)", blocks, bytes)
 	}
 	if s.Done(id) {

@@ -226,13 +226,19 @@ func (tc *TaskContext) WriteShuffleAs(shuffleID, reduceID, mapTask int, data any
 // lineage, and resubmits the stage — retrying the fetch locally cannot bring
 // the blocks back.
 func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([]any, error) {
-	blocks, bytes, ff := tc.cluster.shuffles.fetch(shuffleID, reduceID)
+	blocks, bytes, spillNS, ff, err := tc.cluster.shuffles.fetch(shuffleID, reduceID)
 	if ff != nil {
 		return nil, ff
+	}
+	if err != nil {
+		return nil, err
 	}
 	cfg := tc.cluster.cfg
 	transferNS := float64(bytes)/(cfg.NetworkMBps*1e6)*1e9 +
 		cfg.ShuffleLatencyMS*1e6*float64(len(blocks))
+	// Spilled blocks cost their disk read-back on top of the network
+	// transfer; both are I/O wait from the reduce attempt's perspective.
+	transferNS += spillNS
 	if transferNS > 0 {
 		tc.shuffleWaitNS += transferNS
 	}
@@ -247,7 +253,7 @@ func (tc *TaskContext) FetchShuffle(shuffleID, reduceID int) ([]any, error) {
 func (tc *TaskContext) commit() {
 	m := tc.cluster.metrics
 	for _, w := range tc.pendingShuffle {
-		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.mapTask, w.seq, tc.executor, w.data, w.bytes)
+		tc.cluster.shuffles.write(w.shuffleID, w.reduceID, w.mapTask, w.seq, tc.executor, w.data, w.records, w.bytes)
 		if !tc.recovery {
 			m.ShuffleBytesWritten.Add(w.bytes)
 			m.ShuffleRecordsWritten.Add(w.records)

@@ -52,6 +52,15 @@ const (
 	EventFetchFailed         EventKind = "fetch_failed"
 	EventStageResubmit       EventKind = "stage_resubmit"
 	EventCheckpoint          EventKind = "checkpoint"
+	// Memory-bounded engine events. spill marks one block written to the
+	// disk overflow tier (Bytes is the framed, compressed on-disk size;
+	// Executor the host whose local disk holds it); spill_load marks its
+	// read-back. stage_coalesce marks adaptive post-shuffle partition
+	// coalescing deciding a reduce-side plan (Detail carries the
+	// before/after partition counts and target).
+	EventSpill         EventKind = "spill"
+	EventSpillLoad     EventKind = "spill_load"
+	EventStageCoalesce EventKind = "stage_coalesce"
 )
 
 // Event is one structured record of the cluster's execution. Task and

@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+// TestSpillOutputIdentical is the exhibit's acceptance test: the budgeted
+// run must actually spill (otherwise the scenario is vacuous) and still
+// produce byte-identical candidates — Spill itself errors on divergence, so
+// a nil error plus non-zero spill counters is the whole property. It doubles
+// as the CI memory-pressure smoke.
+func TestSpillOutputIdentical(t *testing.T) {
+	rows, err := Spill(SpillParams{Records: 1500, Partitions: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Budgeted {
+			if r.SpillEvents == 0 || r.SpilledBytes == 0 {
+				t.Errorf("budgeted run spilled nothing (events %d, bytes %d); working set under budget?",
+					r.SpillEvents, r.SpilledBytes)
+			}
+		} else {
+			if r.SpillEvents != 0 || r.SpilledBytes != 0 || r.CoalescedPartitions != 0 {
+				t.Errorf("unbounded run has spill/coalesce accounting: %+v", r)
+			}
+		}
+		if r.Candidates == 0 {
+			t.Errorf("row %+v emitted no candidates", r)
+		}
+	}
+	if ratio := SpillOverhead(rows); ratio < 1 {
+		t.Errorf("spill overhead ratio %.3f < 1: spilling made the run faster than RAM", ratio)
+	}
+}
+
+// BenchmarkSpillOverhead snapshots the memory-pressure exhibit for
+// bench-json: the reported ratio is the budgeted/unbounded virtual makespan
+// of the identical candidate pipeline, alongside the spilled volume.
+func BenchmarkSpillOverhead(b *testing.B) {
+	var rows []SpillRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = Spill(SpillParams{Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var unbounded, budgeted, spilledMB, spillEvents, coalesced float64
+	for _, r := range rows {
+		if r.Budgeted {
+			budgeted = r.ExecutionTime.Seconds()
+			spilledMB = float64(r.SpilledBytes) / (1 << 20)
+			spillEvents = float64(r.SpillEvents)
+			coalesced = float64(r.CoalescedPartitions)
+		} else {
+			unbounded = r.ExecutionTime.Seconds()
+		}
+	}
+	b.ReportMetric(SpillOverhead(rows), "overhead-ratio")
+	b.ReportMetric(unbounded, "makespan-unbounded-s")
+	b.ReportMetric(budgeted, "makespan-budgeted-s")
+	b.ReportMetric(spilledMB, "spilled-MB")
+	b.ReportMetric(spillEvents, "spill-events")
+	b.ReportMetric(coalesced, "coalesced-partitions")
+}

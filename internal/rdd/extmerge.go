@@ -1,0 +1,174 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+
+	"adrdedup/internal/cluster"
+)
+
+// External-memory operators.
+//
+// When a partition's estimated working set exceeds the executor memory budget
+// and the disk overflow tier is on (Config.SpillToDisk), sorts and joins
+// switch from their all-in-memory algorithms to external ones: bounded
+// in-memory runs (or probe chunks) are spilled through the cluster's framed,
+// compressed spill store and merged back, charging virtual disk time at
+// Config.SpillMBps to the running attempt.
+//
+// Both external paths are *output-identical* to their in-memory counterparts
+// — external merge reproduces sort.SliceStable via a run-index tie-break, the
+// external join re-establishes the in-memory (right index, left position)
+// emission order with a stable re-sort — so spilling remains a pure storage
+// and accounting decision, pinned by the differential and property tests.
+//
+// Simulation honesty note: the driver process necessarily holds the decoded
+// runs in real RAM during the merge; the budget is a *virtual* resource, like
+// NetworkMBps. What the external path models is the extra disk traffic and
+// the partition-size independence a real external algorithm buys.
+
+// spillRoundTrip pushes one encoded payload through the spill store and reads
+// it back, charging the attempt for both directions. It returns the decoded
+// value, or (nil, false) when any step fails — callers then fall back to
+// their resident copy, since spilling must never cost correctness.
+func spillRoundTrip(tc *cluster.TaskContext, cl *cluster.Cluster, codec cluster.SpillCodec,
+	v any, detail string) (any, bool) {
+	raw, err := codec.Encode(v)
+	if err != nil {
+		return nil, false
+	}
+	ref, err := cl.Spill().Put(raw, tc.Executor())
+	if err != nil {
+		return nil, false
+	}
+	defer cl.Spill().Free(ref)
+	tc.AddVirtualNS(cl.AccountSpillWrite(ref, detail))
+	back, err := cl.Spill().Get(ref)
+	if err != nil {
+		return nil, false
+	}
+	decoded, err := codec.Decode(back)
+	if err != nil {
+		return nil, false
+	}
+	tc.AddVirtualNS(cl.AccountSpillRead(ref, detail))
+	return decoded, true
+}
+
+// externalSortStable sorts data in place (and returns it) when it fits the
+// executor memory budget or spilling is off; otherwise it runs an external
+// merge sort: the input is cut into budget-sized consecutive runs, each
+// stably sorted and spilled, then the runs are merged with a run-index
+// tie-break. Because the runs are consecutive input chunks, "lower run index
+// wins ties" is exactly input order, so the merged output is byte-identical
+// to sort.SliceStable over the whole input (pinned by
+// TestExternalSortMatchesSliceStable).
+func externalSortStable[T any](tc *cluster.TaskContext, cl *cluster.Cluster, detail string,
+	data []T, bytesPerRecord int64, less func(a, b T) bool) []T {
+	budget := cl.ExecutorMemoryBytes()
+	if !cl.SpillingEnabled() || int64(len(data))*bytesPerRecord <= budget {
+		sort.SliceStable(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return data
+	}
+	runLen := int(budget / bytesPerRecord)
+	if runLen < 1 {
+		runLen = 1
+	}
+	codec := cluster.GobCodec[[]T]()
+	var runs [][]T
+	for lo := 0; lo < len(data); lo += runLen {
+		hi := lo + runLen
+		if hi > len(data) {
+			hi = len(data)
+		}
+		run := data[lo:hi]
+		sort.SliceStable(run, func(i, j int) bool { return less(run[i], run[j]) })
+		// The round trip both charges the virtual disk cost and proves the
+		// run survives the codec; on any failure the resident run is used.
+		if back, ok := spillRoundTrip(tc, cl, codec, run,
+			fmt.Sprintf("%s run %d", detail, len(runs))); ok {
+			run = back.([]T)
+		}
+		runs = append(runs, run)
+	}
+	// K-way merge, lowest run index winning ties: candidates are compared
+	// with strict less, so an equal head never displaces the earlier run's.
+	out := make([]T, 0, len(data))
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		for ri := range runs {
+			if heads[ri] >= len(runs[ri]) {
+				continue
+			}
+			if best == -1 || less(runs[ri][heads[ri]], runs[best][heads[best]]) {
+				best = ri
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+}
+
+// joinTagged carries one joined record together with the coordinates that
+// define the in-memory join's emission order: j is the right record's index,
+// i the left record's global position. Sorting the external join's output
+// stably by (j, i) reproduces the in-memory order exactly.
+type joinTagged[K comparable, V, W any] struct {
+	j, i int
+	out  Pair[K, Tuple2[V, W]]
+}
+
+// externalJoin is the over-budget path of Join: the left side is processed in
+// budget-sized chunks, each spilled through the overflow tier (charging
+// virtual disk time) and probed against the full right side; the tagged
+// matches are then re-sorted into the in-memory join's (right index, left
+// position) order. Output is identical to the in-memory build-and-probe join.
+func externalJoin[K comparable, V, W any](tc *cluster.TaskContext, cl *cluster.Cluster, detail string,
+	left []Pair[K, V], right []Pair[K, W], leftBytesPerRecord int64) []Pair[K, Tuple2[V, W]] {
+	chunk := int(cl.ExecutorMemoryBytes() / leftBytesPerRecord)
+	if chunk < 1 {
+		chunk = 1
+	}
+	codec := cluster.GobCodec[[]Pair[K, V]]()
+	var tagged []joinTagged[K, V, W]
+	type post struct {
+		i int
+		v V
+	}
+	for lo := 0; lo < len(left); lo += chunk {
+		hi := lo + chunk
+		if hi > len(left) {
+			hi = len(left)
+		}
+		part := left[lo:hi]
+		if back, ok := spillRoundTrip(tc, cl, codec, part,
+			fmt.Sprintf("%s left chunk %d", detail, lo/chunk)); ok {
+			part = back.([]Pair[K, V])
+		}
+		byKey := make(map[K][]post, len(part))
+		for idx, kv := range part {
+			byKey[kv.Key] = append(byKey[kv.Key], post{i: lo + idx, v: kv.Value})
+		}
+		for j, kw := range right {
+			for _, m := range byKey[kw.Key] {
+				tagged = append(tagged, joinTagged[K, V, W]{j: j, i: m.i,
+					out: Pair[K, Tuple2[V, W]]{Key: kw.Key, Value: Tuple2[V, W]{A: m.v, B: kw.Value}}})
+			}
+		}
+	}
+	sort.SliceStable(tagged, func(a, b int) bool {
+		if tagged[a].j != tagged[b].j {
+			return tagged[a].j < tagged[b].j
+		}
+		return tagged[a].i < tagged[b].i
+	})
+	out := make([]Pair[K, Tuple2[V, W]], len(tagged))
+	for i, t := range tagged {
+		out[i] = t.out
+	}
+	return out
+}

@@ -28,8 +28,8 @@ func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 	if numPartitions <= 0 {
 		numPartitions = a.ctx.parallelism
 	}
-	sa := PartitionBy(a, numPartitions)
-	sb := PartitionBy(b, numPartitions)
+	sa := partitionByOpt(a, numPartitions, false)
+	sb := partitionByOpt(b, numPartitions, false)
 	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
 	out := newRDD(a.ctx, fmt.Sprintf("leftJoin(%s,%s)", a.name, b.name), numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[V, Option[W]]], error) {
@@ -79,8 +79,8 @@ func SubtractByKey[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]
 	if numPartitions <= 0 {
 		numPartitions = a.ctx.parallelism
 	}
-	sa := PartitionBy(a, numPartitions)
-	sb := PartitionBy(b, numPartitions)
+	sa := partitionByOpt(a, numPartitions, false)
+	sb := partitionByOpt(b, numPartitions, false)
 	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
 	out := newRDD(a.ctx, fmt.Sprintf("subtract(%s,%s)", a.name, b.name), numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, V], error) {

@@ -94,7 +94,22 @@ func splitmix64(x uint64) uint64 {
 // boundary: the parent's partitions are computed by a map stage whose output
 // buckets are committed to the shuffle service; the returned RDD's partitions
 // read (and are charged virtual network time for) those buckets.
+//
+// With Config.TargetPartitionMB set, the reduce side is adaptively coalesced:
+// once the map stage has committed and per-partition byte sizes are known,
+// undersized consecutive reduce partitions are merged toward the target
+// (cluster.CoalescePlan) and each output partition fetches its whole group of
+// hash buckets, in ascending bucket order. Coalescing changes only the
+// partition boundaries, never record content or relative order.
 func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, V]] {
+	return partitionByOpt(r, numPartitions, true)
+}
+
+// partitionByOpt is PartitionBy with an explicit coalescing opt-out. Joins
+// pass allowCoalesce=false: both join sides must agree on the exact
+// partition -> key mapping, so their co-partitioning shuffles run with the
+// declared count even when adaptive coalescing is on.
+func partitionByOpt[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, allowCoalesce bool) *RDD[Pair[K, V]] {
 	if numPartitions <= 0 {
 		numPartitions = r.ctx.parallelism
 	}
@@ -103,6 +118,15 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 	}
 	ctx := r.ctx
 	shID := ctx.cl.Shuffles().Register()
+	// The gob codec makes this shuffle's blocks spillable under the
+	// executor memory budget; without one every block would stay resident.
+	ctx.cl.Shuffles().SetCodec(shID, cluster.GobCodec[[]Pair[K, V]]())
+	coalesce := allowCoalesce && ctx.cl.CoalescingEnabled()
+	// plan is written once, inside runMapStage's once.Do, and read only
+	// after that (the sync.Once gives the happens-before edge): nil means
+	// run with the declared partitioning, otherwise plan[p] lists the hash
+	// buckets output partition p fetches.
+	var plan [][]int
 	bytesPerRecord := r.bytesPerRecord
 
 	// mapOutput streams the parent partition's fused narrow chain straight
@@ -151,12 +175,16 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 			if onceErr = r.ensureDeps(); onceErr != nil {
 				return
 			}
-			_, onceErr = ctx.cl.RunStage(fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.lineageName(), shID, r.id),
-				r.numPartitions, func(tc *cluster.TaskContext) error {
+			stage := fmt.Sprintf("%s.shuffleMap#%d@rdd%d", r.lineageName(), shID, r.id)
+			_, onceErr = ctx.cl.RunStage(stage,
+				r.partitions(), func(tc *cluster.TaskContext) error {
 					return mapOutput(tc, tc.Task())
 				})
 			if onceErr == nil {
 				ctx.cl.Shuffles().MarkDone(shID)
+				if coalesce {
+					plan = ctx.cl.CoalescePlan(shID, numPartitions, stage)
+				}
 			}
 		})
 		return onceErr
@@ -164,9 +192,17 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 
 	out := newRDD(ctx, r.name+".partitionBy", numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, V], error) {
-			blocks, err := tc.FetchShuffle(shID, p)
-			if err != nil {
-				return nil, err
+			group := []int{p}
+			if plan != nil {
+				group = plan[p]
+			}
+			var blocks []any
+			for _, q := range group {
+				bs, err := tc.FetchShuffle(shID, q)
+				if err != nil {
+					return nil, err
+				}
+				blocks = append(blocks, bs...)
 			}
 			var n int
 			for _, b := range blocks {
@@ -179,7 +215,15 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RD
 			tc.SetWorkingSetBytes(int64(n) * bytesPerRecord)
 			return out, nil
 		}, []func() error{runMapStage})
-	out.hashPartitioned = true
+	out.parts = func() int {
+		if plan != nil {
+			return len(plan)
+		}
+		return numPartitions
+	}
+	// A shuffle that may coalesce cannot promise partition == hash % count,
+	// so downstream co-partitioning shortcuts must not trust it.
+	out.hashPartitioned = !coalesce
 	out.bytesPerRecord = bytesPerRecord
 	return out
 }
@@ -208,7 +252,7 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, numPar
 	pre.bytesPerRecord = r.bytesPerRecord
 	shuffled := PartitionBy(pre, numPartitions)
 	out := MapPartitions(shuffled, combine).SetName(r.name + ".reduceByKey")
-	out.hashPartitioned = true
+	out.hashPartitioned = shuffled.hashPartitioned
 	return out
 }
 
@@ -253,7 +297,7 @@ func AggregateByKey[K comparable, V, U any](r *RDD[Pair[K, V]], zero func() U,
 		}
 		return out, nil
 	}).SetName(r.name + ".aggregateByKey")
-	out.hashPartitioned = true
+	out.hashPartitioned = shuffled.hashPartitioned
 	return out
 }
 
@@ -275,7 +319,7 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD
 		}
 		return out, nil
 	}).SetName(r.name + ".groupByKey")
-	out.hashPartitioned = true
+	out.hashPartitioned = shuffled.hashPartitioned
 	return out
 }
 
@@ -289,10 +333,11 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPar
 	if numPartitions <= 0 {
 		numPartitions = a.ctx.parallelism
 	}
-	sa := PartitionBy(a, numPartitions)
-	sb := PartitionBy(b, numPartitions)
+	sa := partitionByOpt(a, numPartitions, false)
+	sb := partitionByOpt(b, numPartitions, false)
 	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
 	bytesPerRecord := sa.bytesPerRecord + sb.bytesPerRecord
+	cl := a.ctx.cl
 	out := newRDD(a.ctx, fmt.Sprintf("join(%s,%s)", a.name, b.name), numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[V, W]], error) {
 			left, err := sa.materialize(tc, p)
@@ -305,6 +350,11 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPar
 			}
 			tc.SetWorkingSetBytes(int64(len(left))*sa.bytesPerRecord +
 				int64(len(right))*sb.bytesPerRecord)
+			// Over-budget build side: probe in spilled chunks instead of one
+			// all-resident hash table (output-identical; see extmerge.go).
+			if cl.SpillingEnabled() && int64(len(left))*sa.bytesPerRecord > cl.ExecutorMemoryBytes() {
+				return externalJoin(tc, cl, fmt.Sprintf("join p%d", p), left, right, sa.bytesPerRecord), nil
+			}
 			// Count per-key cardinalities first so every value slice and
 			// the output are allocated exactly once at final size, instead
 			// of growing from nil through the append doubling schedule.
@@ -349,8 +399,8 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], num
 	if numPartitions <= 0 {
 		numPartitions = a.ctx.parallelism
 	}
-	sa := PartitionBy(a, numPartitions)
-	sb := PartitionBy(b, numPartitions)
+	sa := partitionByOpt(a, numPartitions, false)
+	sb := partitionByOpt(b, numPartitions, false)
 	prepare := append(append([]func() error{}, sa.prepare...), sb.prepare...)
 	out := newRDD(a.ctx, fmt.Sprintf("cogroup(%s,%s)", a.name, b.name), numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]Pair[K, Tuple2[[]V, []W]], error) {

@@ -54,7 +54,14 @@ type RDD[T any] struct {
 	name string
 
 	numPartitions int
-	compute       func(tc *cluster.TaskContext, partition int) ([]T, error)
+	// parts, when non-nil, resolves the partition count lazily. Adaptive
+	// post-shuffle coalescing (cluster.CoalescePlan) can shrink a shuffled
+	// RDD's partition count only after its map stage has run and byte sizes
+	// are known, which is long after downstream RDDs were declared — so
+	// narrow children resolve their count through their parent at submission
+	// time instead of freezing numPartitions at build time.
+	parts   func() int
+	compute func(tc *cluster.TaskContext, partition int) ([]T, error)
 
 	// stream, when non-nil, is the element-wise streaming description of
 	// this RDD used for fused narrow-stage execution (see fuse.go).
@@ -137,8 +144,19 @@ func (r *RDD[T]) Name() string { return r.name }
 // ID returns the RDD's unique id within its context.
 func (r *RDD[T]) ID() int { return r.id }
 
-// NumPartitions returns the partition count.
-func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
+// NumPartitions returns the partition count. For RDDs downstream of an
+// adaptively coalesced shuffle the count is resolved lazily: before the
+// shuffle's map stage has run it reports the declared (pre-coalesce) count,
+// afterwards the post-plan count every job actually uses.
+func (r *RDD[T]) NumPartitions() int { return r.partitions() }
+
+// partitions resolves the current partition count (see the parts field).
+func (r *RDD[T]) partitions() int {
+	if r.parts != nil {
+		return r.parts()
+	}
+	return r.numPartitions
+}
 
 // SetName sets the debug name and returns the RDD for chaining. The name
 // also replaces the derived fused-chain label in stage names.
@@ -173,7 +191,7 @@ func (r *RDD[T]) Unpersist() {
 	r.cached = false
 	r.everCached = make(map[int]bool)
 	r.mu.Unlock()
-	for p := 0; p < r.numPartitions; p++ {
+	for p := 0; p < r.partitions(); p++ {
 		r.ctx.cl.Blocks().Remove(cluster.BlockID{RDD: r.id, Partition: p})
 	}
 }
@@ -216,7 +234,11 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 	}
 
 	id := cluster.BlockID{RDD: r.id, Partition: partition}
-	if v, ok := r.ctx.cl.Blocks().Get(id); ok {
+	if v, ns, ok := r.ctx.cl.Blocks().GetWithCost(id); ok {
+		// A hit served from the disk tier (the partition had been spilled
+		// under memory pressure) costs virtual disk time; charge it to this
+		// attempt like a shuffle wait.
+		tc.AddVirtualNS(ns)
 		return copySlice(v.([]T)), nil
 	}
 	r.mu.Lock()
@@ -239,7 +261,11 @@ func (r *RDD[T]) materialize(tc *cluster.TaskContext, partition int) ([]T, error
 	}
 	// Cached partitions are hosted on the caching attempt's executor and
 	// die with it; the next read recomputes from lineage like an eviction.
-	if r.ctx.cl.Blocks().Put(id, data, int64(len(data))*r.bytesPerRecord, tc.Executor()) {
+	// The gob codec makes the block spillable: under Config.SpillToDisk,
+	// memory pressure moves it to the executor's disk tier instead of
+	// dropping it to a lineage recompute.
+	if r.ctx.cl.Blocks().PutSpillable(id, data, int64(len(data))*r.bytesPerRecord,
+		tc.Executor(), cluster.GobCodec[[]T]()) {
 		r.mu.Lock()
 		r.everCached[partition] = true
 		r.mu.Unlock()
@@ -270,10 +296,14 @@ func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, p
 	if err := r.ensureDeps(); err != nil {
 		return nil, fmt.Errorf("rdd %q: preparing dependencies: %w", r.name, err)
 	}
+	// The partition count is resolved only now, after ensureDeps: adaptive
+	// coalescing may have shrunk an upstream shuffle's reduce side when its
+	// map stage ran.
+	numPartitions := r.partitions()
 	// Results flow through the commit gate (PublishResult): with
 	// speculation enabled, rival attempts of a partition run concurrently
 	// and only the winning attempt's value lands in the slice.
-	raw, _, err := r.ctx.cl.RunStageResults(fmt.Sprintf("%s@rdd%d", name, r.id), r.numPartitions, func(tc *cluster.TaskContext) error {
+	raw, _, err := r.ctx.cl.RunStageResults(fmt.Sprintf("%s@rdd%d", name, r.id), numPartitions, func(tc *cluster.TaskContext) error {
 		data, err := r.materialize(tc, tc.Task())
 		if err != nil {
 			return err
@@ -289,7 +319,7 @@ func RunJob[T, R any](r *RDD[T], name string, fn func(tc *cluster.TaskContext, p
 	if err != nil {
 		return nil, fmt.Errorf("rdd %q: %w", r.name, err)
 	}
-	results := make([]R, r.numPartitions)
+	results := make([]R, numPartitions)
 	for i, v := range raw {
 		if v != nil {
 			results[i] = v.(R)

@@ -54,7 +54,12 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 	// equal the key itself, so shuffle manually through the service.
 	ctx := r.ctx
 	shID := ctx.cl.Shuffles().Register()
+	ctx.cl.Shuffles().SetCodec(shID, cluster.GobCodec[[]T]())
 	parts := len(bounds) + 1
+	// Adaptive coalescing merges only *consecutive* ranges, so a coalesced
+	// sort output is still globally ordered across partitions. The plan is
+	// written once inside runMapStage (nil = run as declared).
+	var plan [][]int
 	prepareParent := keyed.prepare
 	// mapOutput streams the range-keying chain of one parent partition
 	// straight into the shuffle buckets (no intermediate keyed slice),
@@ -92,29 +97,49 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool, numPartitions int) *RDD[T]
 				return err
 			}
 		}
-		_, err := ctx.cl.RunStage(fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.lineageName(), shID, r.id), keyed.numPartitions,
+		stage := fmt.Sprintf("%s.sortShuffle#%d@rdd%d", r.lineageName(), shID, r.id)
+		_, err := ctx.cl.RunStage(stage, keyed.partitions(),
 			func(tc *cluster.TaskContext) error {
 				return mapOutput(tc, tc.Task())
 			})
 		if err == nil {
 			ctx.cl.Shuffles().MarkDone(shID)
+			if ctx.cl.CoalescingEnabled() {
+				plan = ctx.cl.CoalescePlan(shID, parts, stage)
+			}
 		}
 		return err
 	})
 
-	return newRDD(ctx, r.name+".sortBy", parts,
+	out := newRDD(ctx, r.name+".sortBy", parts,
 		func(tc *cluster.TaskContext, p int) ([]T, error) {
-			blocks, err := tc.FetchShuffle(shID, p)
-			if err != nil {
-				return nil, err
+			group := []int{p}
+			if plan != nil {
+				group = plan[p]
 			}
 			var out []T
-			for _, b := range blocks {
-				out = append(out, b.([]T)...)
+			for _, q := range group {
+				blocks, err := tc.FetchShuffle(shID, q)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range blocks {
+					out = append(out, b.([]T)...)
+				}
 			}
-			sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+			// In memory when the range fits the executor budget; a bounded-run
+			// external merge otherwise — output-identical either way.
+			out = externalSortStable(tc, ctx.cl, fmt.Sprintf("sortBy p%d", p),
+				out, r.bytesPerRecord, less)
 			return out, nil
 		}, []func() error{runMapStage})
+	out.parts = func() int {
+		if plan != nil {
+			return len(plan)
+		}
+		return parts
+	}
+	return out
 }
 
 // onceErrFunc wraps f so it runs at most once (goroutine-safe) and replays

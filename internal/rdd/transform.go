@@ -73,7 +73,7 @@ func MapPartitions[T, U any](r *RDD[T], f func(in []T) ([]U, error)) *RDD[U] {
 // a fusion boundary: the parent is materialized as a slice. Element-wise
 // callers should prefer MapElementsWithIndex, which fuses.
 func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) ([]U, error)) *RDD[U] {
-	return newRDD(r.ctx, r.name+".mapPartitions", r.numPartitions,
+	out := newRDD(r.ctx, r.name+".mapPartitions", r.numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]U, error) {
 			in, err := r.materialize(tc, p)
 			if err != nil {
@@ -81,6 +81,8 @@ func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) (
 			}
 			return f(p, in)
 		}, r.prepare)
+	out.parts = r.partitions
+	return out
 }
 
 // Union concatenates two RDDs; the result has the sum of their partitions.
@@ -90,14 +92,17 @@ func Union[T any](a, b *RDD[T]) *RDD[T] {
 		panic("rdd: Union across contexts")
 	}
 	prepare := append(append([]func() error{}, a.prepare...), b.prepare...)
-	return newRDD(a.ctx, fmt.Sprintf("union(%s,%s)", a.name, b.name),
+	out := newRDD(a.ctx, fmt.Sprintf("union(%s,%s)", a.name, b.name),
 		a.numPartitions+b.numPartitions,
 		func(tc *cluster.TaskContext, p int) ([]T, error) {
-			if p < a.numPartitions {
+			na := a.partitions()
+			if p < na {
 				return a.materialize(tc, p)
 			}
-			return b.materialize(tc, p-a.numPartitions)
+			return b.materialize(tc, p-na)
 		}, prepare)
+	out.parts = func() int { return a.partitions() + b.partitions() }
+	return out
 }
 
 // Cartesian pairs every element of a with every element of b. The result has
@@ -111,8 +116,10 @@ func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
 		panic("rdd: Cartesian across contexts")
 	}
 	prepare := append(append([]func() error{}, a.prepare...), b.prepare...)
-	nb := b.numPartitions
 	stream := func(tc *cluster.TaskContext, p int, sizeHint func(int), emit func(Tuple2[T, U]) error) error {
+		// The right side's count is read at execution time: an adaptively
+		// coalesced parent changes the p -> (pa, pb) mapping with it.
+		nb := b.partitions()
 		pa, pb := p/nb, p%nb
 		left, err := a.materialize(tc, pa)
 		if err != nil {
@@ -135,7 +142,8 @@ func Cartesian[T, U any](a *RDD[T], b *RDD[U]) *RDD[Tuple2[T, U]] {
 		return nil
 	}
 	out := newRDD(a.ctx, fmt.Sprintf("cartesian(%s,%s)", a.name, b.name),
-		a.numPartitions*nb, collectStream(stream), prepare)
+		a.numPartitions*b.numPartitions, collectStream(stream), prepare)
+	out.parts = func() int { return a.partitions() * b.partitions() }
 	out.stream = stream
 	return out
 }
@@ -168,10 +176,14 @@ func Coalesce[T any](r *RDD[T], numPartitions int) *RDD[T] {
 	if numPartitions >= r.numPartitions || numPartitions < 1 {
 		return r
 	}
-	n := r.numPartitions
 	p := numPartitions
 	return newRDD(r.ctx, r.name+".coalesce", p,
 		func(tc *cluster.TaskContext, part int) ([]T, error) {
+			// Resolve the parent count per task: adaptive coalescing may have
+			// shrunk it since this RDD was declared. The range arithmetic
+			// still covers [0, n) exactly once even when n < p (some output
+			// partitions are then empty).
+			n := r.partitions()
 			lo := part * n / p
 			hi := (part + 1) * n / p
 			var out []T
