@@ -10,6 +10,12 @@
 // 1M-5M); -scale multiplies them back up (-scale 10 reproduces paper-scale
 // counts, at a correspondingly longer runtime). Reported execution times are
 // virtual cluster times; see DESIGN.md §6.
+//
+// -real-parallel runs the shared experiment cluster's stages on the
+// work-stealing worker pool (-workers, default NumCPU) instead of
+// goroutine-per-task; results and committed counters are bit-identical, only
+// host wall-clock changes. -cpuprofile and -memprofile write runtime/pprof
+// profiles of the run.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"adrdedup/internal/cluster"
 	"adrdedup/internal/eval"
 	"adrdedup/internal/experiments"
+	"adrdedup/internal/prof"
 )
 
 func main() {
@@ -30,6 +37,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and pair counts for smoke runs")
 	tracePath := flag.String("trace", "", "write a JSON stage/task trace event log to this file and print a per-stage summary to stderr")
 	metricsPath := flag.String("metrics-out", "", "write the final cluster metrics snapshot as JSON to this file")
+	realParallel := flag.Bool("real-parallel", false, "run stages on the work-stealing worker pool instead of goroutine-per-task (bit-identical results)")
+	workers := flag.Int("workers", 0, "worker-pool size for -real-parallel (0 = NumCPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile at the end of the run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <exhibit>\n")
 		fmt.Fprintf(os.Stderr, "exhibits: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablation loadbalance speculation recovery candidates spill all\n")
@@ -41,27 +52,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := &runner{scale: *scale, seed: *seed, quick: *quick, trace: *tracePath, metricsOut: *metricsPath}
-	runErr := r.run(flag.Arg(0))
-	// Export observability artifacts even after a failed exhibit: a trace
-	// of the failing run is exactly what's needed to debug it.
-	if err := r.writeArtifacts(); err != nil {
+	profile, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+
+	r := &runner{
+		scale: *scale, seed: *seed, quick: *quick,
+		trace: *tracePath, metricsOut: *metricsPath,
+		realParallel: *realParallel, workers: *workers,
+	}
+	runErr := r.run(flag.Arg(0))
+	// Export observability artifacts even after a failed exhibit: a trace
+	// of the failing run is exactly what's needed to debug it.
+	artErr := r.writeArtifacts()
+	profErr := profile.Stop()
+	for _, e := range []error{artErr, profErr, runErr} {
+		if e != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", e)
+		}
+	}
+	if artErr != nil || profErr != nil || runErr != nil {
 		os.Exit(1)
 	}
 }
 
 type runner struct {
-	scale      float64
-	seed       int64
-	quick      bool
-	trace      string
-	metricsOut string
-	env        *experiments.Env
+	scale        float64
+	seed         int64
+	quick        bool
+	trace        string
+	metricsOut   string
+	realParallel bool
+	workers      int
+	env          *experiments.Env
 }
 
 // writeArtifacts exports the trace event log (spanning every engine reset of
@@ -140,6 +165,8 @@ func (r *runner) environment() (*experiments.Env, error) {
 	}
 	clusterCfg := experiments.DefaultCluster()
 	clusterCfg.Trace = r.trace != ""
+	clusterCfg.RealParallel = r.realParallel
+	clusterCfg.RealWorkers = r.workers
 	start := time.Now()
 	env, err := experiments.NewEnv(experiments.EnvConfig{
 		Cluster: clusterCfg,

@@ -460,3 +460,97 @@ func TestChaosComboCount(t *testing.T) {
 		t.Fatalf("chaos grid has %d combos, need >= 720", combos)
 	}
 }
+
+// TestRealParallelBitIdentical is the chaos harness's real-parallel axis:
+// the same seeded programs, fault/kill/straggler/speculation/memory grid,
+// but executed on the work-stealing goroutine-per-core pool
+// (Config.RealParallel) with 1 and 3 workers. Work-stealing reorders task
+// execution arbitrarily — a stolen task runs on a different goroutine, with
+// a different WorkerScratch, interleaved with different neighbors — yet
+// partition contents, published results, and committed counters must stay
+// bit-identical to the same sequential oracle the virtual-time scheduler is
+// held to, because every observable side effect is commit-gated and every
+// injection decision is hashed from stable identities rather than arrival
+// order. Aborting combos must abort deterministically, exactly as in
+// TestChaos.
+func TestRealParallelBitIdentical(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		prog := genChaosProgram(seed * 7919)
+		want := chaosOracle(prog)
+		for _, executors := range []int{1, 4} {
+			for _, failureRate := range []float64{0, 0.3} {
+				for _, execFail := range []float64{0, 0.3} {
+					for _, stragglers := range []bool{false, true} {
+						for _, speculation := range []bool{false, true} {
+							for _, tier := range chaosMemTiers[:2] { // unbounded, tight
+								for _, workers := range []int{1, 3} {
+									name := fmt.Sprintf("seed=%d/exec=%d/fail=%v/kill=%v/strag=%v/spec=%v/mem=%s/workers=%d",
+										seed, executors, failureRate, execFail, stragglers, speculation, tier.name, workers)
+									cfg := chaosConfig(seed, executors, failureRate, execFail, stragglers, speculation, tier.budget)
+									cfg.RealParallel = true
+									cfg.RealWorkers = workers
+									t.Run(name, func(t *testing.T) {
+										t.Parallel()
+										c := New(cfg)
+										defer c.Close()
+										state, sums, err := runChaosProgram(c, prog)
+										if err != nil {
+											if execFail == 0 {
+												t.Fatalf("program failed without executor kills: %v", err)
+											}
+											var abort *StageAbortedError
+											if !errors.As(err, &abort) {
+												t.Fatalf("program failed without typed stage abort: %v", err)
+											}
+											c2 := New(cfg)
+											defer c2.Close()
+											_, _, err2 := runChaosProgram(c2, prog)
+											var abort2 *StageAbortedError
+											if err2 == nil || !errors.As(err2, &abort2) || abort.Stage != abort2.Stage {
+												t.Fatalf("abort not deterministic:\n  first: %v\n second: %v", err, err2)
+											}
+											return
+										}
+										if len(state) != len(want.finalState) {
+											t.Fatalf("final partitions = %d, want %d", len(state), len(want.finalState))
+										}
+										for i := range state {
+											if !int64sEqual(state[i], want.finalState[i]) {
+												t.Errorf("partition %d = %v, want %v", i, state[i], want.finalState[i])
+											}
+										}
+										for i := range sums {
+											if sums[i] != want.finalResults[i] {
+												t.Errorf("published checksum %d = %d, want %d", i, sums[i], want.finalResults[i])
+											}
+										}
+										m := c.Metrics().Snapshot()
+										if m.RecordsProcessed != want.records {
+											t.Errorf("RecordsProcessed = %d, want %d", m.RecordsProcessed, want.records)
+										}
+										if m.Comparisons != want.comparisons {
+											t.Errorf("Comparisons = %d, want %d", m.Comparisons, want.comparisons)
+										}
+										if m.ShuffleRecordsWritten != want.shufRecords {
+											t.Errorf("ShuffleRecordsWritten = %d, want %d", m.ShuffleRecordsWritten, want.shufRecords)
+										}
+										if m.ShuffleBytesWritten != want.shufWritten {
+											t.Errorf("ShuffleBytesWritten = %d, want %d", m.ShuffleBytesWritten, want.shufWritten)
+										}
+										if m.ShuffleBytesRead != want.shufRead {
+											t.Errorf("ShuffleBytesRead = %d, want %d", m.ShuffleBytesRead, want.shufRead)
+										}
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -44,9 +44,21 @@
 // creates deterministic slow tasks (virtual cost plus a real, cancellable
 // delay) to exercise the machinery, mirroring how FailureRate exercises
 // retries.
+//
+// # Real-parallel execution
+//
+// Config.RealParallel replaces the goroutine-per-task launch with a
+// goroutine-per-core work-stealing pool (pool.go): RealWorkers workers with
+// per-worker LIFO deques, FIFO stealing, and per-worker scratch buffers
+// (WorkerScratch) handed to tasks through TaskContext.Scratch. Virtual-time
+// accounting is unchanged — the mode only changes how fast the real
+// computation saturates the host. Because all side effects are commit-gated
+// and injection is hashed from stable identities, results and committed
+// counters stay bit-identical to the default mode.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -140,6 +152,17 @@ type Config struct {
 	Seed int64
 	// RealParallelism caps worker goroutines; 0 means GOMAXPROCS.
 	RealParallelism int
+	// RealParallel switches stage execution from the legacy
+	// goroutine-per-task launch to the goroutine-per-core work-stealing
+	// worker pool (pool.go): RealWorkers goroutines with per-worker LIFO
+	// deques, FIFO stealing over partitions, and per-worker WorkerScratch
+	// buffers so zero-alloc kernels survive concurrency. The virtual-time
+	// scheduler stays the oracle: results and committed counters are
+	// bit-identical to the default mode, only real wall-clock changes.
+	RealParallel bool
+	// RealWorkers is the pool size in RealParallel mode. 0 selects
+	// runtime.NumCPU() — one worker per core.
+	RealWorkers int
 	// Scheduling selects the task-to-slot placement policy. The paper
 	// names executor load balancing as future work (§7); LPT implements
 	// it.
@@ -250,6 +273,9 @@ func (c Config) withDefaults() Config {
 	if c.RealParallelism <= 0 {
 		c.RealParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.RealWorkers <= 0 {
+		c.RealWorkers = runtime.NumCPU()
+	}
 	if c.SpeculationQuantile <= 0 {
 		c.SpeculationQuantile = 0.75
 	}
@@ -309,6 +335,14 @@ type Cluster struct {
 	metrics     *Metrics
 	history     stageHistory
 	tracer      *Tracer
+
+	// poolCtx parents every attempt context; Close cancels it, waking any
+	// chain blocked in a simulated real delay (straggler sleeps) so no
+	// goroutine outlives the cluster.
+	poolCtx    context.Context
+	poolCancel context.CancelFunc
+	// scratch recycles per-worker buffer bundles across stages and modes.
+	scratch scratchPool
 }
 
 // New creates a cluster with the given configuration.
@@ -325,13 +359,17 @@ func New(cfg Config) *Cluster {
 	if cfg.Trace {
 		c.tracer.Enable()
 	}
+	c.poolCtx, c.poolCancel = context.WithCancel(context.Background())
 	return c
 }
 
-// Close releases the cluster's disk-backed resources (spilled block files).
-// A cluster that never spilled holds none, so Close is optional for
-// unbounded runs and cheap either way.
+// Close releases the cluster's disk-backed resources (spilled block files)
+// and cancels the shared pool context, waking any task chain still blocked
+// in a simulated real delay. Stages still running when Close is called fail
+// fast; the normal pattern is to Close only after the last job returns.
+// A cluster that never spilled holds no disk state, so Close is cheap.
 func (c *Cluster) Close() {
+	c.poolCancel()
 	c.spill.Close()
 }
 

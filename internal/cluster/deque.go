@@ -1,0 +1,104 @@
+package cluster
+
+import "sync/atomic"
+
+// wsDeque is a Chase-Lev work-stealing deque of task indices. The owning
+// worker pushes and pops at the bottom (LIFO, cache-warm work first); thieves
+// steal from the top (FIFO, the oldest — and under our round-robin seeding,
+// lowest-numbered — partition migrates). Go's sequentially consistent
+// sync/atomic semantics make the published algorithm's relaxed-memory
+// subtleties moot; the slots themselves are atomic so a thief reading a slot
+// the owner is about to overwrite after a growth race is well-defined (the
+// thief's CAS on top then fails and the value is discarded).
+//
+// push and pop must only be called by the deque's single owner goroutine;
+// steal is safe from any number of concurrent thieves.
+type wsDeque struct {
+	top    atomic.Int64 // next slot thieves take from
+	bottom atomic.Int64 // next slot the owner pushes to
+	buf    atomic.Pointer[wsBuf]
+}
+
+// wsBuf is one ring buffer generation; grow replaces it wholesale so thieves
+// racing a resize keep reading a consistent (old) generation.
+type wsBuf struct {
+	mask int64 // len(slot)-1; length is a power of two
+	slot []atomic.Int64
+}
+
+func (b *wsBuf) load(i int64) int64     { return b.slot[i&b.mask].Load() }
+func (b *wsBuf) store(i int64, v int64) { b.slot[i&b.mask].Store(v) }
+
+func newWSDeque(capacity int) *wsDeque {
+	n := int64(8)
+	for n < int64(capacity) {
+		n <<= 1
+	}
+	d := &wsDeque{}
+	d.buf.Store(&wsBuf{mask: n - 1, slot: make([]atomic.Int64, n)})
+	return d
+}
+
+// push appends v at the bottom. Owner only.
+func (d *wsDeque) push(v int64) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.mask { // full (keep one slot of slack)
+		buf = d.grow(buf, t, b)
+	}
+	buf.store(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live window [t, b). The old buffer is
+// left intact for thieves still holding it; their CAS on top serializes who
+// actually claimed each element.
+func (d *wsDeque) grow(old *wsBuf, t, b int64) *wsBuf {
+	nb := &wsBuf{mask: (old.mask+1)*2 - 1, slot: make([]atomic.Int64, (old.mask+1)*2)}
+	for i := t; i < b; i++ {
+		nb.store(i, old.load(i))
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// pop removes and returns the bottom element. Owner only. On the last
+// element it races thieves with a CAS on top; losing means a thief got it.
+func (d *wsDeque) pop() (int64, bool) {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b { // empty: restore
+		d.bottom.Store(b + 1)
+		return 0, false
+	}
+	v := buf.load(b)
+	if t == b {
+		// Last element: win it against thieves by advancing top.
+		ok := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !ok {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// steal removes and returns the top element. Safe for concurrent thieves.
+// retry=true means the CAS lost to a rival (owner or thief) and the deque
+// may still hold work — the caller should try again before moving on.
+func (d *wsDeque) steal() (v int64, ok, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false, false
+	}
+	buf := d.buf.Load()
+	v = buf.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false, true
+	}
+	return v, true, false
+}

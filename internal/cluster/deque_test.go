@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestDequeOwnerOrder pins the single-threaded contract: the owner pops LIFO
+// and, once the owner stops, a lone thief drains the rest FIFO.
+func TestDequeOwnerOrder(t *testing.T) {
+	d := newWSDeque(4)
+	for i := int64(0); i < 10; i++ {
+		d.push(i)
+	}
+	for want := int64(9); want >= 7; want-- {
+		v, ok := d.pop()
+		if !ok || v != want {
+			t.Fatalf("pop = %d, %v; want %d, true", v, ok, want)
+		}
+	}
+	for want := int64(0); want <= 6; want++ {
+		v, ok, _ := d.steal()
+		if !ok || v != want {
+			t.Fatalf("steal = %d, %v; want %d, true", v, ok, want)
+		}
+	}
+	if v, ok := d.pop(); ok {
+		t.Fatalf("pop on empty deque = %d, true", v)
+	}
+	if v, ok, retry := d.steal(); ok || retry {
+		t.Fatalf("steal on empty deque = %d, %v, %v", v, ok, retry)
+	}
+}
+
+// TestDequeGrow pushes far past the initial capacity and checks nothing is
+// lost or reordered across growth.
+func TestDequeGrow(t *testing.T) {
+	d := newWSDeque(2)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		d.push(i)
+	}
+	for want := int64(n - 1); want >= 0; want-- {
+		v, ok := d.pop()
+		if !ok || v != want {
+			t.Fatalf("pop = %d, %v; want %d, true", v, ok, want)
+		}
+	}
+}
+
+// TestDequeStealStress hammers one owner (push/pop) against several thieves
+// under the race detector and verifies the exactly-once multiset property:
+// every pushed value is claimed by exactly one claimant, none dropped, none
+// duplicated.
+func TestDequeStealStress(t *testing.T) {
+	const (
+		total   = 200000
+		thieves = 4
+	)
+	d := newWSDeque(8)
+	var claimed sync.Map // value -> claimant count probe
+	var dups, got atomic.Int64
+	record := func(v int64) {
+		if _, loaded := claimed.LoadOrStore(v, true); loaded {
+			dups.Add(1)
+		}
+		got.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok, retry := d.steal()
+				if ok {
+					record(v)
+					continue
+				}
+				if !retry {
+					select {
+					case <-stop:
+						// Owner finished; one final clean sweep below.
+						for {
+							v, ok, retry := d.steal()
+							if ok {
+								record(v)
+							} else if !retry {
+								return
+							}
+						}
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+
+	// Owner: interleave batched pushes with LIFO pops.
+	rng := rand.New(rand.NewSource(1))
+	next := int64(0)
+	for next < total {
+		burst := int64(1 + rng.Intn(64))
+		for b := int64(0); b < burst && next < total; b++ {
+			d.push(next)
+			next++
+		}
+		for rng.Intn(2) == 0 {
+			v, ok := d.pop()
+			if !ok {
+				break
+			}
+			record(v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Drain anything left after the thieves retired.
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+
+	if dups.Load() != 0 {
+		t.Fatalf("%d values claimed more than once", dups.Load())
+	}
+	if got.Load() != total {
+		t.Fatalf("claimed %d of %d pushed values", got.Load(), total)
+	}
+}
+
+// TestDequeNeverDropsOrDuplicates is the quick.Check property behind the
+// stress test: for arbitrary (bounded) task counts and thief counts, the
+// multiset of claimed values equals the multiset pushed.
+func TestDequeNeverDropsOrDuplicates(t *testing.T) {
+	prop := func(rawN uint16, rawThieves uint8) bool {
+		n := int64(rawN%2000) + 1
+		thieves := int(rawThieves%3) + 1
+		d := newWSDeque(4)
+		for i := int64(0); i < n; i++ {
+			d.push(i)
+		}
+		seen := make([]atomic.Bool, n)
+		var dropped, dups atomic.Int64
+		record := func(v int64) {
+			if v < 0 || v >= n {
+				dropped.Add(1) // out-of-range is as fatal as a drop
+				return
+			}
+			if seen[v].Swap(true) {
+				dups.Add(1)
+			}
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < thieves; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					v, ok, retry := d.steal()
+					if ok {
+						record(v)
+					} else if !retry {
+						return
+					}
+				}
+			}()
+		}
+		for {
+			v, ok := d.pop()
+			if !ok {
+				// pop's false can be a lost last-element race, not
+				// emptiness; confirm via a clean steal sweep.
+				v, ok, retry := d.steal()
+				if ok {
+					record(v)
+					continue
+				}
+				if retry {
+					continue
+				}
+				break
+			}
+			record(v)
+		}
+		wg.Wait()
+		if dropped.Load() != 0 || dups.Load() != 0 {
+			return false
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,11 @@ type stageRun struct {
 	live []int
 	sem  chan struct{}
 	wg   sync.WaitGroup
+	// pool is the current submission attempt's work-stealing pool in
+	// RealParallel mode (nil otherwise / between attempts). Written by
+	// startPool before its workers launch and read only from chains those
+	// workers run, so the wg.Wait between attempts orders all accesses.
+	pool *poolRun
 
 	// results holds the committed task results (PublishResult); only the
 	// single winning attempt of a task writes its slot, and readers wait
@@ -98,13 +103,20 @@ func (r *chainResult) absorb(res chainResult) {
 }
 
 func (c *Cluster) newStageRun(stageID int, name string, numTasks int, run func(tc *TaskContext) error, collect, recovery bool) *stageRun {
+	// In RealParallel mode the semaphore gates the fixed worker pool (plus
+	// spares standing in for paused workers), so it must admit RealWorkers
+	// tokens even when that exceeds RealParallelism.
+	par := c.cfg.RealParallelism
+	if c.cfg.RealParallel {
+		par = c.cfg.RealWorkers
+	}
 	sr := &stageRun{
 		c:        c,
 		stageID:  stageID,
 		name:     name,
 		run:      run,
 		recovery: recovery,
-		sem:      make(chan struct{}, c.cfg.RealParallelism),
+		sem:      make(chan struct{}, par),
 		states:   make([]taskState, numTasks),
 	}
 	for i := range sr.states {
@@ -145,17 +157,34 @@ func (sr *stageRun) executeAttempt() {
 			<-monitorDone
 		}
 	}()
-	for _, i := range launch {
-		sr.wg.Add(1)
-		sr.sem <- struct{}{}
-		go func(task int) {
-			defer sr.wg.Done()
-			defer func() { <-sr.sem }()
-			sr.runChain(task, false)
-		}(i)
+	if sr.c.cfg.RealParallel {
+		sr.startPool(launch)
+	} else {
+		for _, i := range launch {
+			sr.wg.Add(1)
+			sr.sem <- struct{}{}
+			go func(task int) {
+				defer sr.wg.Done()
+				defer func() { <-sr.sem }()
+				sr.runChain(task, false, nil)
+			}(i)
+		}
 	}
 	sr.wg.Wait()
 }
+
+// pauseSlot releases the chain's worker token around a blocking sleep; in
+// pool mode it additionally offers the freed capacity to a spare worker so
+// unclaimed tasks keep running while this one stalls.
+func (sr *stageRun) pauseSlot() {
+	<-sr.sem
+	if pr := sr.pool; pr != nil {
+		pr.ensureSpare()
+	}
+}
+
+// resumeSlot re-acquires a worker token after a blocking sleep.
+func (sr *stageRun) resumeSlot() { sr.sem <- struct{}{} }
 
 // fetchFailures collects the *FetchFailedError terminal errors of the last
 // attempt's uncommitted tasks, in task order. It returns nil when any
@@ -221,6 +250,11 @@ func (sr *stageRun) monitor(stop, done chan struct{}) {
 		select {
 		case <-stop:
 			return
+		case <-sr.c.poolCtx.Done():
+			// Cluster closed mid-stage: the chains' attempt contexts are
+			// children of poolCtx and are waking too, so no straggler is
+			// left to mitigate.
+			return
 		case <-ticker.C:
 		}
 		now := time.Now()
@@ -260,7 +294,7 @@ func (sr *stageRun) monitor(stop, done chan struct{}) {
 				Executor: sr.c.hostFor(sr.live, sr.stageID, task, true)})
 			go func(task int) {
 				defer sr.wg.Done()
-				sr.runChain(task, true)
+				sr.runChain(task, true, nil)
 			}(task)
 		}
 	}
@@ -270,8 +304,19 @@ func (sr *stageRun) monitor(stop, done chan struct{}) {
 // Placement is deterministic: the chain runs on hostFor's pick among the
 // attempt's live executors (a speculative copy lands on a different host
 // than its primary whenever one exists).
-func (sr *stageRun) runChain(task int, speculative bool) {
-	ctx, cancel := context.WithCancel(context.Background())
+//
+// sc is the worker-owned scratch threaded to every attempt's TaskContext;
+// callers without one (the legacy launch path, speculative chains) pass nil
+// and the chain checks one out of the cluster pool for its duration.
+func (sr *stageRun) runChain(task int, speculative bool, sc *WorkerScratch) {
+	if sc == nil {
+		sc = sr.c.scratch.get()
+		defer sr.c.scratch.put(sc)
+	}
+	// The attempt context is a child of the cluster's pool context, so
+	// Cluster.Close cancels in-flight chains (waking straggler sleeps)
+	// in addition to the rival-commit cancellation below.
+	ctx, cancel := context.WithCancel(sr.c.poolCtx)
 	defer cancel()
 	exec := sr.c.hostFor(sr.live, sr.stageID, task, speculative)
 	sr.mu.Lock()
@@ -288,7 +333,7 @@ func (sr *stageRun) runChain(task int, speculative bool) {
 
 	var res chainResult
 	if !alreadyCommitted {
-		res = sr.runAttempts(ctx, task, speculative, exec)
+		res = sr.runAttempts(ctx, task, speculative, exec, sc)
 	}
 	res.ran = true
 
@@ -355,7 +400,7 @@ func (sr *stageRun) tryCommit(task int, speculative bool, tc *TaskContext) bool 
 // Injected failures, pressure timeouts, and genuine errors consume the
 // retry budget exactly as without speculation; a successful attempt races
 // for the task commit and the chain ends either way.
-func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool, exec int) chainResult {
+func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool, exec int, sc *WorkerScratch) chainResult {
 	c := sr.c
 	cfg := c.cfg
 	var out chainResult
@@ -366,12 +411,13 @@ func (sr *stageRun) runAttempts(ctx context.Context, task int, speculative bool,
 		}
 		tc := &TaskContext{cluster: c, ctx: ctx, stageID: sr.stageID, stageName: sr.name,
 			task: task, attempt: attempt, speculative: speculative,
-			executor: exec, recovery: sr.recovery}
+			executor: exec, recovery: sr.recovery, scratch: sc}
 		if !speculative {
-			// Primary chains hold a RealParallelism token; blocking
-			// sleeps yield it so stalled tasks don't starve real workers.
-			tc.pause = func() { <-sr.sem }
-			tc.resume = func() { sr.sem <- struct{}{} }
+			// Primary chains hold a worker token; blocking sleeps yield it
+			// so stalled tasks don't starve real workers (and, in pool
+			// mode, let a spare worker soak up the freed capacity).
+			tc.pause = sr.pauseSlot
+			tc.resume = sr.resumeSlot
 		}
 		c.tracer.Emit(Event{Kind: EventTaskStart, Stage: sr.name, StageID: sr.stageID,
 			Task: task, Attempt: attempt, Speculative: speculative, Executor: exec})

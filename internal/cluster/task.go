@@ -57,6 +57,12 @@ type TaskContext struct {
 	sleptNS         float64
 	workingSetBytes int64
 
+	// scratch is the worker-owned reusable buffer bundle for this attempt.
+	// In RealParallel mode the pool worker running the chain owns it for
+	// the whole stage; elsewhere the chain checks one out per task. Either
+	// way it is never shared between concurrently running attempts.
+	scratch *WorkerScratch
+
 	// pause/resume yield and re-acquire the attempt's real worker slot
 	// around blocking sleeps: a task stalled in simulated delay burns no
 	// CPU, so holding a RealParallelism token would starve other tasks —
@@ -104,6 +110,21 @@ func (tc *TaskContext) Speculative() bool { return tc.speculative }
 // task hosts locally (shuffle map output, cached partitions) are lost if
 // that executor later fails.
 func (tc *TaskContext) Executor() int { return tc.executor }
+
+// Scratch returns the attempt's worker-owned scratch buffers. Kernels use it
+// for zero-alloc temporary storage: the buffers grow to each worker's
+// high-water mark once and are reused by every later task on that worker.
+// The scratch is exclusive to this attempt while it runs — concurrent tasks
+// on other workers hold different instances — but its buffer contents are
+// unspecified at attempt start (stale data from a previous task).
+func (tc *TaskContext) Scratch() *WorkerScratch {
+	if tc.scratch == nil {
+		// Bare TaskContexts (tests, direct construction) still work; they
+		// just allocate a private scratch on first use.
+		tc.scratch = &WorkerScratch{}
+	}
+	return tc.scratch
+}
 
 // Context returns the attempt's context. It is cancelled when a rival
 // attempt of the same task commits first (speculation's

@@ -1,9 +1,13 @@
 package pairdist
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
 	"adrdedup/internal/intern"
 )
 
@@ -80,6 +84,159 @@ func BenchmarkPairKernel(b *testing.B) {
 			benchSink = arena[0]
 		}
 	})
+
+	b.Run("tiled", func(b *testing.B) {
+		// The RealParallel per-worker shape: cache-tiled sweep with a
+		// warmed WorkerScratch and a preallocated arena — the steady state
+		// of one pool worker, 0 allocs/op.
+		b.ReportAllocs()
+		pairs := benchAllPairs(numReports)
+		arena := make([]float64, Dims*len(pairs))
+		var sc cluster.WorkerScratch
+		SweepInto(&sc, arena, interned, pairs, JaccardMetric)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SweepInto(&sc, arena, interned, pairs, JaccardMetric)
+			benchSink = arena[0]
+		}
+	})
+}
+
+func benchAllPairs(n int) []IDPair {
+	pairs := make([]IDPair, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, IDPair{A: a, B: b})
+		}
+	}
+	return pairs
+}
+
+// scalingWorkerCounts is the 1 -> NumCPU sweep grid: powers of two plus the
+// exact core count.
+func scalingWorkerCounts() []int {
+	var counts []int
+	for w := 1; w < runtime.NumCPU(); w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, runtime.NumCPU())
+}
+
+// scalingChunks splits the all-pairs list into chunks (tasks), with arenas
+// preallocated so the timed region allocates nothing per pair.
+func scalingChunks(pairs []IDPair, tasks int) ([][]IDPair, [][]float64) {
+	chunks := make([][]IDPair, tasks)
+	arenas := make([][]float64, tasks)
+	for t := 0; t < tasks; t++ {
+		lo := t * len(pairs) / tasks
+		hi := (t + 1) * len(pairs) / tasks
+		chunks[t] = pairs[lo:hi]
+		arenas[t] = make([]float64, Dims*(hi-lo))
+	}
+	return chunks, arenas
+}
+
+// BenchmarkRealParallelScaling runs the 240-report all-pairs pair-kernel
+// sweep (28,680 pairs/op) as a RealParallel stage with 1 -> NumCPU workers:
+// the `make bench-json` engine snapshot and the CI scaling sanity check read
+// its ns/op trend. Each worker computes its chunks cache-tiled through its
+// own WorkerScratch into a preallocated arena, so per-worker steady state
+// stays allocation-free; remaining allocs/op are fixed stage machinery,
+// independent of the pair count.
+func BenchmarkRealParallelScaling(b *testing.B) {
+	const numReports = 240
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: numReports, DuplicatePairs: 20, NumDrugs: 60, NumADRs: 90, Seed: 42,
+	})
+	it := intern.New()
+	interned := make([]Features, numReports)
+	for i, r := range c.Reports {
+		interned[i] = ExtractWith(it, r)
+	}
+	pairs := benchAllPairs(numReports)
+	for _, w := range scalingWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cl := cluster.New(cluster.Config{
+				Executors: 1, CoresPerExecutor: w,
+				RealParallel: true, RealWorkers: w,
+			})
+			defer cl.Close()
+			tasks := 4 * w // 4 chunks per worker leaves room for stealing
+			chunks, arenas := scalingChunks(pairs, tasks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := cl.RunStage("pairsweep", tasks, func(tc *cluster.TaskContext) error {
+					ch := chunks[tc.Task()]
+					SweepInto(tc.Scratch(), arenas[tc.Task()], interned, ch, JaccardMetric)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRealParallelScalingSpeedup is the CI scaling sanity check: on a host
+// with at least 4 cores, the 4-worker all-pairs sweep must run at least 2x
+// faster than the 1-worker sweep (the acceptance floor; the trend should be
+// near-linear to NumCPU). Hosts below 4 cores skip — they cannot exhibit
+// the parallelism this asserts.
+func TestRealParallelScalingSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d CPUs, need >= 4 to measure 4-worker speedup", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in short mode")
+	}
+	const numReports = 240
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: numReports, DuplicatePairs: 20, NumDrugs: 60, NumADRs: 90, Seed: 42,
+	})
+	it := intern.New()
+	interned := make([]Features, numReports)
+	for i, r := range c.Reports {
+		interned[i] = ExtractWith(it, r)
+	}
+	pairs := benchAllPairs(numReports)
+
+	sweep := func(workers int) time.Duration {
+		cl := cluster.New(cluster.Config{
+			Executors: 1, CoresPerExecutor: workers,
+			RealParallel: true, RealWorkers: workers,
+		})
+		defer cl.Close()
+		tasks := 4 * workers
+		chunks, arenas := scalingChunks(pairs, tasks)
+		run := func() time.Duration {
+			start := time.Now()
+			if _, err := cl.RunStage("pairsweep", tasks, func(tc *cluster.TaskContext) error {
+				SweepInto(tc.Scratch(), arenas[tc.Task()], interned, chunks[tc.Task()], JaccardMetric)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		run() // warm scratches and caches
+		best := run()
+		for i := 0; i < 4; i++ {
+			if d := run(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	t1 := sweep(1)
+	t4 := sweep(4)
+	speedup := float64(t1) / float64(t4)
+	t.Logf("1 worker: %v, 4 workers: %v, speedup %.2fx", t1, t4, speedup)
+	if speedup < 2 {
+		t.Errorf("4-worker speedup = %.2fx, want >= 2x (1w=%v, 4w=%v)", speedup, t1, t4)
+	}
 }
 
 // BenchmarkExtract compares plain extraction against extraction with

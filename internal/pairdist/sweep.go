@@ -1,0 +1,65 @@
+package pairdist
+
+import (
+	"adrdedup/internal/cluster"
+)
+
+// SweepTile is the cache tile width of SweepInto: pairs are computed in
+// blocks of SweepTile x SweepTile report indices, so one block's worth of
+// Features (ID-set headers plus their hot prefixes) stays resident in cache
+// while every pair touching it is processed. 128 reports/side keeps a block's
+// working set comfortably inside L2 for typical ADR token-set sizes.
+const SweepTile = 128
+
+// SweepInto computes the distance vector of every pair into arena, writing
+// pairs[i]'s vector at arena[i*Dims : (i+1)*Dims]. arena must hold at least
+// Dims*len(pairs) floats.
+//
+// When a WorkerScratch is provided and the batch is large enough to benefit,
+// the pairs are visited in cache-tiled order: a counting sort over
+// (A/SweepTile, B/SweepTile) tile keys — entirely inside one reused scratch
+// buffer, so the steady state allocates nothing — groups pairs that touch
+// the same block of features. Each vector is still written at its pair's
+// original index, so the arena contents are bit-identical to the untiled
+// scan regardless of compute order; only memory locality changes.
+//
+// A nil scratch, a small batch, or a tile grid too sparse for its pair count
+// falls back to the direct in-order scan (identical output).
+func SweepInto(sc *cluster.WorkerScratch, arena []float64, feats []Features, pairs []IDPair, m TextMetric) {
+	if len(pairs) == 0 {
+		return
+	}
+	_ = arena[Dims*len(pairs)-1]
+	nT := (len(feats) + SweepTile - 1) / SweepTile
+	nb := nT*nT + 1
+	if sc == nil || nT < 2 || len(pairs) < 4*SweepTile || nb > 4*len(pairs) {
+		for i, p := range pairs {
+			DistanceInto(arena[i*Dims:(i+1)*Dims:(i+1)*Dims], feats[p.A], feats[p.B], m)
+		}
+		return
+	}
+	// Counting sort of pair indices by tile key. One scratch buffer holds
+	// both the permutation (first len(pairs) entries) and the bucket
+	// offsets (the rest); both are fully overwritten before being read.
+	buf := sc.Int32s(len(pairs) + nb)
+	perm, counts := buf[:len(pairs)], buf[len(pairs):]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, p := range pairs {
+		counts[(p.A/SweepTile)*nT+p.B/SweepTile+1]++
+	}
+	for k := 1; k < nb; k++ {
+		counts[k] += counts[k-1]
+	}
+	for i, p := range pairs {
+		k := (p.A/SweepTile)*nT + p.B/SweepTile
+		perm[counts[k]] = int32(i)
+		counts[k]++
+	}
+	for _, pi := range perm {
+		p := pairs[pi]
+		o := int(pi) * Dims
+		DistanceInto(arena[o:o+Dims:o+Dims], feats[p.A], feats[p.B], m)
+	}
+}

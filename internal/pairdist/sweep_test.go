@@ -1,0 +1,155 @@
+package pairdist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adrdedup/internal/adrgen"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/intern"
+)
+
+// sweepCorpus builds an interned feature set large enough to force the tiled
+// path (several SweepTile-wide tiles) plus a pair list.
+func sweepCorpus(t testing.TB, numReports int, seed int64) []Features {
+	t.Helper()
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: numReports, DuplicatePairs: numReports / 12,
+		NumDrugs: 60, NumADRs: 90, Seed: seed,
+	})
+	it := intern.New()
+	feats := make([]Features, numReports)
+	for i, r := range c.Reports {
+		feats[i] = ExtractWith(it, r)
+	}
+	return feats
+}
+
+func allPairs(n int) []IDPair {
+	pairs := make([]IDPair, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, IDPair{A: a, B: b})
+		}
+	}
+	return pairs
+}
+
+// TestSweepIntoMatchesDirect is the tiling differential: the cache-tiled
+// sweep must fill the arena bit-identically to the plain in-order scan, for
+// all-pairs batches, shuffled batches, and small batches that take the
+// fallback. Each vector lands at its pair's original index regardless of the
+// tiled compute order.
+func TestSweepIntoMatchesDirect(t *testing.T) {
+	const numReports = 300 // > 2 tiles, forces the tiled path for big batches
+	feats := sweepCorpus(t, numReports, 42)
+
+	cases := map[string][]IDPair{
+		"all-pairs": allPairs(numReports),
+		"small":     allPairs(20), // below the tiling threshold: fallback path
+	}
+	shuffled := allPairs(numReports)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	cases["shuffled"] = shuffled
+
+	for name, pairs := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := make([]float64, Dims*len(pairs))
+			for i, p := range pairs {
+				DistanceInto(want[i*Dims:(i+1)*Dims], feats[p.A], feats[p.B], JaccardMetric)
+			}
+			got := make([]float64, Dims*len(pairs))
+			var sc cluster.WorkerScratch
+			SweepInto(&sc, got, feats, pairs, JaccardMetric)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("arena[%d] = %v, want %v (pair %d dim %d)",
+						i, got[i], want[i], i/Dims, i%Dims)
+				}
+			}
+			// Re-run on the same (now dirty) scratch: stale buffer contents
+			// must not leak into results.
+			SweepInto(&sc, got, feats, pairs, JaccardMetric)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dirty-scratch rerun: arena[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepZeroAlloc pins the acceptance criterion directly: with a warmed
+// per-worker scratch and a preallocated arena, the tiled sweep performs zero
+// allocations per run.
+func TestSweepZeroAlloc(t *testing.T) {
+	const numReports = 300
+	feats := sweepCorpus(t, numReports, 42)
+	pairs := allPairs(numReports)
+	arena := make([]float64, Dims*len(pairs))
+	var sc cluster.WorkerScratch
+	SweepInto(&sc, arena, feats, pairs, JaccardMetric) // warm the scratch
+	allocs := testing.AllocsPerRun(5, func() {
+		SweepInto(&sc, arena, feats, pairs, JaccardMetric)
+	})
+	if allocs != 0 {
+		t.Fatalf("SweepInto allocs/run = %v, want 0", allocs)
+	}
+}
+
+// TestSweepArenaIsolation is the satellite's arena-isolation proof: two
+// tasks running concurrently on a RealParallel pool must hold distinct
+// WorkerScratch instances, and hammering SweepInto from both (same feature
+// set, interleaved goroutines) must reproduce the sequential reference
+// exactly. A shared tiling buffer would corrupt the counting-sort
+// permutation and scatter vectors to wrong indices.
+func TestSweepArenaIsolation(t *testing.T) {
+	const numReports = 300
+	feats := sweepCorpus(t, numReports, 42)
+	pairs := allPairs(numReports)
+	want := make([]float64, Dims*len(pairs))
+	for i, p := range pairs {
+		DistanceInto(want[i*Dims:(i+1)*Dims], feats[p.A], feats[p.B], JaccardMetric)
+	}
+
+	c := cluster.New(cluster.Config{Executors: 1, RealParallel: true, RealWorkers: 2})
+	defer c.Close()
+
+	var mu sync.Mutex
+	scratches := make(map[int]*cluster.WorkerScratch)
+	arenas := [2][]float64{
+		make([]float64, Dims*len(pairs)),
+		make([]float64, Dims*len(pairs)),
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	_, err := c.RunStage("sweep-isolation", 2, func(tc *cluster.TaskContext) error {
+		sc := tc.Scratch()
+		mu.Lock()
+		scratches[tc.Task()] = sc
+		mu.Unlock()
+		barrier.Done()
+		barrier.Wait() // both tasks provably in flight before sweeping
+		arena := arenas[tc.Task()]
+		for rep := 0; rep < 3; rep++ {
+			SweepInto(sc, arena, feats, pairs, JaccardMetric)
+			for i := range want {
+				if arena[i] != want[i] {
+					return fmt.Errorf("task %d rep %d: arena[%d] = %v, want %v",
+						tc.Task(), rep, i, arena[i], want[i])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratches[0] == scratches[1] {
+		t.Fatalf("concurrent tasks shared WorkerScratch %p: tiling buffers alias", scratches[0])
+	}
+}

@@ -85,6 +85,29 @@ func MapPartitionsWithIndex[T, U any](r *RDD[T], f func(partition int, in []T) (
 	return out
 }
 
+// MapPartitionsTC applies f to each whole partition along with the task's
+// TaskContext, giving whole-partition kernels access to per-attempt services
+// — most importantly TaskContext.Scratch, the worker-owned buffer bundle
+// that keeps zero-alloc kernels allocation-free when tasks run concurrently
+// (RealParallel mode). Like MapPartitionsWithIndex it is a fusion boundary.
+//
+// f may run concurrently for different partitions and may run more than once
+// for the same partition (task retries, speculative attempts); it must treat
+// the scratch contents as unspecified at entry and must not retain scratch
+// buffers in its output.
+func MapPartitionsTC[T, U any](r *RDD[T], f func(tc *cluster.TaskContext, partition int, in []T) ([]U, error)) *RDD[U] {
+	out := newRDD(r.ctx, r.name+".mapPartitions", r.numPartitions,
+		func(tc *cluster.TaskContext, p int) ([]U, error) {
+			in, err := r.materialize(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			return f(tc, p, in)
+		}, r.prepare)
+	out.parts = r.partitions
+	return out
+}
+
 // Union concatenates two RDDs; the result has the sum of their partitions.
 // Union is a fusion boundary (multi-parent).
 func Union[T any](a, b *RDD[T]) *RDD[T] {
