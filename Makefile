@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json fuzz
+.PHONY: check build vet test race bench bench-json fuzz serve-smoke
 
 # check is the CI gate: vet, build everything, run the full suite with the
-# race detector.
-check: vet build race
+# race detector, then smoke the online serving layer end-to-end.
+check: vet build race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,7 @@ bench-json:
 	$(GO) test -run='^$$' -bench='CandidateGen' -benchtime=1x -timeout=60m -json ./internal/experiments > BENCH_candidates.json
 	$(GO) test -run='^$$' -bench='RecoveryOverhead' -benchtime=1x -json ./internal/experiments > BENCH_recovery.json
 	$(GO) test -run='^$$' -bench='SpillOverhead' -benchtime=1x -json ./internal/experiments > BENCH_spill.json
+	$(GO) test -run='^$$' -bench='ServeSustained' -benchtime=1x -timeout=30m -json ./internal/experiments > BENCH_serve.json
 
 # fuzz runs each native fuzz target briefly (CI smoke; extend -fuzztime for
 # real hunting).
@@ -50,3 +51,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPrefixPlan -fuzztime=10s ./internal/candgen
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/rdd
 	$(GO) test -run='^$$' -fuzz=FuzzSpillCodec -fuzztime=10s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzIngestRequest -fuzztime=10s ./internal/serve
+
+# serve-smoke boots adrdedupd on a random port, drives 50k reports at it
+# with adrload, and asserts zero errors, non-zero matches, and a clean
+# SIGTERM drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh

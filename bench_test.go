@@ -4,13 +4,14 @@
 // minutes; cmd/experiments runs the same code at larger scale. Paper-shape
 // quantities (AUPR, comparison counts, virtual times) are emitted as custom
 // benchmark metrics.
-package adrdedup
+package adrdedup_test
 
 import (
 	"fmt"
 	"sync"
 	"testing"
 
+	"adrdedup"
 	"adrdedup/internal/adr"
 	"adrdedup/internal/adrgen"
 	"adrdedup/internal/cluster"
@@ -524,7 +525,7 @@ func BenchmarkEndToEndDetectBatch(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		det, err := New(Options{
+		det, err := adrdedup.New(adrdedup.Options{
 			Cluster:    cluster.Config{Executors: 8},
 			Classifier: core.Config{K: 7, B: 12, C: 4},
 		})
@@ -535,7 +536,7 @@ func BenchmarkEndToEndDetectBatch(b *testing.B) {
 		if err := det.AddKnownReports(stripArrival(all[:980])); err != nil {
 			b.Fatal(err)
 		}
-		var labelled []LabeledCasePair
+		var labelled []adrdedup.LabeledCasePair
 		for _, d := range corpus.Duplicates {
 			if _, ok := det.Database().Get(d.CaseA); !ok {
 				continue
@@ -543,11 +544,11 @@ func BenchmarkEndToEndDetectBatch(b *testing.B) {
 			if _, ok := det.Database().Get(d.CaseB); !ok {
 				continue
 			}
-			labelled = append(labelled, LabeledCasePair{CaseA: d.CaseA, CaseB: d.CaseB, Duplicate: true})
+			labelled = append(labelled, adrdedup.LabeledCasePair{CaseA: d.CaseA, CaseB: d.CaseB, Duplicate: true})
 		}
 		dbReports := det.Database().Reports()
 		for j := 0; j+13 < len(dbReports) && len(labelled) < 1500; j++ {
-			labelled = append(labelled, LabeledCasePair{
+			labelled = append(labelled, adrdedup.LabeledCasePair{
 				CaseA: dbReports[j].CaseNumber, CaseB: dbReports[j+13].CaseNumber,
 			})
 		}

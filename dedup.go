@@ -127,6 +127,15 @@ type Detector struct {
 	// feats[i] is the preprocessed form of the report with ArrivalSeq i.
 	feats []pairdist.Features
 
+	// termIndex is the incremental blocking index behind CandidateBlock:
+	// kind-tagged interned token ID -> arrival sequences of the reports
+	// carrying that term, ascending. It covers feats[:termIndexed] and is
+	// extended per arriving batch instead of being rebuilt per Detect, so
+	// online ingestion pays O(batch terms), not O(database terms), per
+	// call. A failed Detect truncates it together with the database.
+	termIndex   map[uint64][]int32
+	termIndexed int
+
 	clf      *core.Classifier
 	training []core.TrainingPair
 }
@@ -334,6 +343,14 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) (_ []Match, re
 	if len(batch) == 0 {
 		return nil, nil
 	}
+	// A long-lived detector (the online service) runs many Detects against
+	// one cluster. Each run's shuffle map outputs are dead once its matches
+	// are collected, so release them on exit rather than letting the
+	// shuffle service retain every batch's outputs for the cluster's
+	// lifetime. Training-era shuffles (ids at or below the mark) stay.
+	shuffles := d.ctx.Cluster().Shuffles()
+	mark := shuffles.Mark()
+	defer shuffles.ReleaseSince(mark)
 	existing := d.db.Len()
 	nFeats := len(d.feats)
 	if err := d.db.Add(batch...); err != nil {
@@ -348,6 +365,7 @@ func (d *Detector) detect(batch []adr.Report, includePruned bool) (_ []Match, re
 		if retErr != nil {
 			d.db.Truncate(existing)
 			d.feats = d.feats[:nFeats]
+			d.truncateTermIndex(nFeats)
 		}
 	}()
 	if err := d.extendFeatures(); err != nil {
@@ -454,42 +472,82 @@ func (d *Detector) prefixCandidates(existing, total int) ([]pairdist.IDPair, err
 	return pairs, nil
 }
 
+// blockADRKind tags ADR-vocabulary token IDs apart from drug tokens in the
+// high bits of the term-index key, so the two interner namespaces never
+// collide in one map.
+const blockADRKind = uint64(1) << 32
+
+// extendTermIndex appends the terms of feats[termIndexed:total] to the
+// incremental blocking index. Posting lists stay sorted ascending because
+// reports are indexed in arrival order.
+func (d *Detector) extendTermIndex(total int) {
+	if d.termIndex == nil {
+		d.termIndex = make(map[uint64][]int32)
+	}
+	for i := d.termIndexed; i < total; i++ {
+		for _, t := range d.feats[i].DrugIDs {
+			d.termIndex[uint64(t)] = append(d.termIndex[uint64(t)], int32(i))
+		}
+		for _, t := range d.feats[i].ADRIDs {
+			d.termIndex[blockADRKind|uint64(t)] = append(d.termIndex[blockADRKind|uint64(t)], int32(i))
+		}
+	}
+	d.termIndexed = total
+}
+
+// truncateTermIndex rolls the blocking index back so it covers only
+// feats[:n], undoing extendTermIndex for a batch whose Detect failed.
+// Posting lists are ascending, so rollback pops entries >= n off each tail.
+func (d *Detector) truncateTermIndex(n int) {
+	if d.termIndexed <= n {
+		return
+	}
+	for k, list := range d.termIndex {
+		i := len(list)
+		for i > 0 && int(list[i-1]) >= n {
+			i--
+		}
+		switch {
+		case i == 0:
+			delete(d.termIndex, k)
+		case i < len(list):
+			d.termIndex[k] = list[:i]
+		}
+	}
+	d.termIndexed = n
+}
+
 // blockedCandidates generates the Eq. 3 candidate set under blocking: a new
 // report is paired only with earlier reports that share a drug or reaction
 // term. The inverted index is keyed by interned token IDs (drug and ADR
 // vocabularies tagged apart in the high bits), so building it does no
-// string hashing or key concatenation.
+// string hashing or key concatenation, and it persists across Detect calls:
+// each batch only appends its own postings, which is what keeps per-arrival
+// cost flat when the detector runs behind a long-lived ingest service
+// (internal/serve).
 func (d *Detector) blockedCandidates(existing, total int) []pairdist.IDPair {
-	const adrKind = uint64(1) << 32
-	byTerm := make(map[uint64][]int)
-	for i := 0; i < total; i++ {
-		for _, t := range d.feats[i].DrugIDs {
-			byTerm[uint64(t)] = append(byTerm[uint64(t)], i)
-		}
-		for _, t := range d.feats[i].ADRIDs {
-			byTerm[adrKind|uint64(t)] = append(byTerm[adrKind|uint64(t)], i)
-		}
-	}
+	d.extendTermIndex(total)
 	seen := make(map[[2]int]bool)
 	var ids []pairdist.IDPair
 	for b := existing; b < total; b++ {
 		consider := func(terms []uint32, kind uint64) {
 			for _, t := range terms {
-				for _, a := range byTerm[kind|uint64(t)] {
-					if a >= b {
-						continue
+				for _, a := range d.termIndex[kind|uint64(t)] {
+					if int(a) >= b {
+						// Postings ascend; the rest are b or newer.
+						break
 					}
-					k := [2]int{a, b}
+					k := [2]int{int(a), b}
 					if seen[k] {
 						continue
 					}
 					seen[k] = true
-					ids = append(ids, pairdist.IDPair{A: a, B: b})
+					ids = append(ids, pairdist.IDPair{A: int(a), B: b})
 				}
 			}
 		}
 		consider(d.feats[b].DrugIDs, 0)
-		consider(d.feats[b].ADRIDs, adrKind)
+		consider(d.feats[b].ADRIDs, blockADRKind)
 	}
 	return ids
 }

@@ -2,6 +2,7 @@ package adrdedup
 
 import (
 	"bytes"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -782,5 +783,169 @@ func TestCandidatePrefixIndexKeepsDuplicatesCutsPairs(t *testing.T) {
 		if !flagged[[2]string{m.CaseA, m.CaseB}] {
 			t.Errorf("prefix index lost true duplicate %s/%s", m.CaseA, m.CaseB)
 		}
+	}
+}
+
+// blockTestDetector builds a CandidateBlock detector over the shared test
+// corpus, pre-loaded with all but the last `holdout` reports and trained on
+// ground truth — the fixture for the incremental-index tests below.
+func blockTestDetector(t *testing.T, holdout int) (*adrgen.Corpus, *Detector, []adr.Report) {
+	t.Helper()
+	c := adrgen.Generate(adrgen.Config{
+		NumReports: 500, DuplicatePairs: 40, NumDrugs: 80, NumADRs: 120, Seed: 42,
+	})
+	det, err := New(Options{
+		Cluster:    cluster.Config{Executors: 4, CoresPerExecutor: 2},
+		Classifier: core.Config{K: 7, B: 8, C: 4, Theta: 0, Seed: 1},
+		Candidates: CandidateBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(c.Reports) - holdout
+	existing := make([]adr.Report, cut)
+	copy(existing, c.Reports[:cut])
+	batch := make([]adr.Report, holdout)
+	copy(batch, c.Reports[cut:])
+	if err := det.AddKnownReports(existing); err != nil {
+		t.Fatal(err)
+	}
+	trainOnGroundTruth(t, c, det, 2000)
+	return c, det, batch
+}
+
+// rebuildTermIndex re-derives the blocking index from scratch over a
+// detector's current features — the reference the incrementally-maintained
+// index is compared against.
+func rebuildTermIndex(d *Detector) map[uint64][]int32 {
+	fresh := &Detector{feats: d.feats}
+	fresh.extendTermIndex(len(d.feats))
+	if fresh.termIndex == nil {
+		fresh.termIndex = map[uint64][]int32{}
+	}
+	return fresh.termIndex
+}
+
+func sortCasePairs(matches []Match) {
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].CaseA != matches[j].CaseA {
+			return matches[i].CaseA < matches[j].CaseA
+		}
+		return matches[i].CaseB < matches[j].CaseB
+	})
+}
+
+// TestBlockedIndexIncrementalEqualsOneShot pins the incremental blocking
+// index across Detect calls: detecting a stream in several batches must
+// score the identical match set as one Detect over the whole stream, and the
+// incrementally-extended index must equal a from-scratch rebuild. This is
+// what lets a long-lived ingest service (internal/serve) append postings per
+// arrival instead of re-indexing the database every batch.
+func TestBlockedIndexIncrementalEqualsOneShot(t *testing.T) {
+	_, detInc, batch := blockTestDetector(t, 30)
+	var union []Match
+	for _, chunk := range [][]adr.Report{batch[:7], batch[7:8], batch[8:20], batch[20:]} {
+		m, err := detInc.DetectAll(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, m...)
+	}
+	if got, want := detInc.termIndexed, len(detInc.feats); got != want {
+		t.Fatalf("index covers %d features, want %d", got, want)
+	}
+	if !reflect.DeepEqual(detInc.termIndex, rebuildTermIndex(detInc)) {
+		t.Fatal("incrementally-extended term index differs from a from-scratch rebuild")
+	}
+
+	_, detOne, batch2 := blockTestDetector(t, 30)
+	oneShot, err := detOne.DetectAll(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sortCasePairs(union)
+	sortCasePairs(oneShot)
+	if !reflect.DeepEqual(union, oneShot) {
+		t.Fatalf("incremental union (%d matches) differs from one-shot Detect (%d matches)",
+			len(union), len(oneShot))
+	}
+	if len(Duplicates(union)) == 0 {
+		t.Fatal("no duplicates found; equivalence test would be vacuous")
+	}
+}
+
+// TestBlockedIndexRollsBackOnFailedDetect: a failed Detect must pop the
+// failed batch's postings back off the index, or every later batch would be
+// paired against reports that are no longer in the database.
+func TestBlockedIndexRollsBackOnFailedDetect(t *testing.T) {
+	_, det, batch := blockTestDetector(t, 20)
+	// Warm the index past the seed database.
+	if _, err := det.Detect(batch[:5]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same wrong-dimension classifier trick as the rollback tests above:
+	// Detect fails after features (and postings) were appended.
+	goodClf := det.clf
+	bogus := make([]core.TrainingPair, 8)
+	for i := range bogus {
+		v := make([]float64, 5)
+		v[i%5] = float64(i + 1)
+		label := -1
+		if i%2 == 0 {
+			label = 1
+		}
+		bogus[i] = core.TrainingPair{Vec: v, Label: label}
+	}
+	badClf, err := core.Train(det.ctx, bogus, core.Config{K: 1, B: 2, C: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.clf = badClf
+	if _, err := det.Detect(batch[5:15]); err == nil {
+		t.Fatal("expected Detect to fail on the wrong-dimension classifier")
+	}
+	det.clf = goodClf
+
+	if got, want := det.termIndexed, len(det.feats); got != want {
+		t.Fatalf("after rollback the index covers %d features, want %d", got, want)
+	}
+	if !reflect.DeepEqual(det.termIndex, rebuildTermIndex(det)) {
+		t.Fatal("rolled-back term index differs from a from-scratch rebuild")
+	}
+
+	// The failed batch retried, then the rest: all postings land once.
+	for _, chunk := range [][]adr.Report{batch[5:15], batch[15:]} {
+		if _, err := det.Detect(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(det.termIndex, rebuildTermIndex(det)) {
+		t.Fatal("term index diverged from rebuild after retry")
+	}
+}
+
+// TestDetectReleasesShuffleState pins the serving-layer memory contract: a
+// Detect call releases its own shuffle map outputs on exit, so a long-lived
+// detector (the online service) stays flat across an unbounded stream of
+// batches instead of retaining every batch's shuffles for the cluster's
+// lifetime. Training-era shuffles are left alone.
+func TestDetectReleasesShuffleState(t *testing.T) {
+	_, det, batch := blockTestDetector(t, 20)
+	shuffles := det.Engine().Cluster().Shuffles()
+	before := shuffles.Registered()
+	mark := shuffles.Mark()
+	for i := 0; i < 4; i++ {
+		lo, hi := i*5, (i+1)*5
+		if _, err := det.Detect(batch[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shuffles.Mark() == mark {
+		t.Fatal("Detect registered no shuffles; test is vacuous")
+	}
+	if got := shuffles.Registered(); got != before {
+		t.Fatalf("registered shuffles grew from %d to %d across 4 Detects; per-batch state leaked", before, got)
 	}
 }

@@ -207,6 +207,41 @@ func (s *ShuffleService) Unregister(id int) {
 	delete(s.shuffles, id)
 }
 
+// Mark returns a watermark covering every shuffle registered so far. A later
+// ReleaseSince(mark) drops exactly the shuffles registered after this call.
+func (s *ShuffleService) Mark() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
+}
+
+// ReleaseSince unregisters every shuffle registered after the watermark,
+// returning their resident bytes and spilled files. Map outputs are only
+// read while the job that produced them runs, so a long-lived driver (the
+// online serving layer) releases each job's shuffles once its results are
+// collected instead of retaining them for the cluster's lifetime.
+func (s *ShuffleService) ReleaseSince(mark int) {
+	s.mu.Lock()
+	var ids []int
+	for id := range s.shuffles {
+		if id > mark {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.Unregister(id)
+	}
+}
+
+// Registered returns the number of currently registered shuffles, for tests
+// and diagnostics.
+func (s *ShuffleService) Registered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shuffles)
+}
+
 // releaseLocked returns one block's storage: its resident-byte share or its
 // spilled file. Callers hold s.mu.
 func (s *ShuffleService) releaseLocked(b *shuffleBlock) {

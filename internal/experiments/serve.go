@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"adrdedup"
+	"adrdedup/internal/cluster"
+	"adrdedup/internal/core"
+	"adrdedup/internal/serve"
+)
+
+// ServeParams sizes the sustained-ingest serving exhibit: an adrdedupd-style
+// server (bootstrapped seed database, prefix-index candidates, work-stealing
+// engine) is driven over real HTTP by the adrload client code, and the
+// steady-state throughput and latency percentiles are the exhibit's claims.
+// Zero values take the full-scale defaults.
+type ServeParams struct {
+	// SeedReports / SeedDuplicates / TrainPairs size the bootstrap
+	// (defaults 2000 / 80 / 1200).
+	SeedReports    int
+	SeedDuplicates int
+	TrainPairs     int
+	// Reports is the stream pushed at the service (default 30000) in
+	// batches of BatchSize (default 500).
+	Reports   int
+	BatchSize int
+	// ServerWorkers and QueueDepth configure the service pipeline
+	// (defaults 2 / 64); ClientWorkers the concurrent submitters
+	// (default 4).
+	ServerWorkers int
+	QueueDepth    int
+	ClientWorkers int
+	// CandidateTheta is the prefix-filter signature-similarity floor
+	// (default 0.8). The exhibit runs hotter than the batch default (0.5):
+	// campaign-free synthetic traffic over a small drug vocabulary makes
+	// moderate signature overlap ubiquitous, and a 0.5 floor drowns the
+	// service in low-grade candidate pairs.
+	CandidateTheta float64
+	// Seed makes the whole exhibit deterministic.
+	Seed int64
+}
+
+func (p ServeParams) withDefaults() ServeParams {
+	if p.SeedReports <= 0 {
+		p.SeedReports = 2000
+	}
+	if p.SeedDuplicates <= 0 {
+		p.SeedDuplicates = 80
+	}
+	if p.TrainPairs <= 0 {
+		p.TrainPairs = 1200
+	}
+	if p.Reports <= 0 {
+		p.Reports = 30000
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 500
+	}
+	if p.ServerWorkers <= 0 {
+		p.ServerWorkers = 2
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 64
+	}
+	if p.ClientWorkers <= 0 {
+		p.ClientWorkers = 4
+	}
+	if p.CandidateTheta <= 0 {
+		p.CandidateTheta = 0.8
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// ServeResult is the serving exhibit's outcome: the load driver's view
+// (throughput, client-observed latency) plus the server's own counters.
+type ServeResult struct {
+	Params ServeParams
+	Load   serve.LoadResult
+	Stats  serve.Stats
+	// SeedDuration and TrainDuration are the bootstrap costs, reported so
+	// the exhibit separates startup from steady-state serving.
+	SeedDuration  time.Duration
+	TrainDuration time.Duration
+}
+
+// ServeLoad boots the online service in-process, drives the configured
+// stream at it over HTTP, drains, and reports. A run with Errors != 0 is
+// returned as an error: the exhibit's baseline claim is a zero-error
+// sustained ingest.
+func ServeLoad(p ServeParams) (ServeResult, error) {
+	p = p.withDefaults()
+	boot, err := serve.NewBootstrap(serve.BootstrapConfig{
+		SeedReports:    p.SeedReports,
+		SeedDuplicates: p.SeedDuplicates,
+		TrainPairs:     p.TrainPairs,
+		Seed:           p.Seed,
+		Detector: adrdedup.Options{
+			Cluster:        cluster.Config{Executors: 8},
+			Classifier:     core.Config{Seed: p.Seed},
+			Candidates:     adrdedup.CandidatePrefixIndex,
+			CandidateTheta: p.CandidateTheta,
+		},
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	srv := serve.New(boot.Detector, serve.Config{
+		Workers:    p.ServerWorkers,
+		QueueDepth: p.QueueDepth,
+	})
+	if err := srv.Start(); err != nil {
+		boot.Detector.Engine().Cluster().Close()
+		return ServeResult{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:   ts.URL,
+		Workers:   p.ClientWorkers,
+		BatchSize: p.BatchSize,
+		Count:     p.Reports,
+		Traffic:   serve.TrafficConfig{Seed: p.Seed + 1},
+	})
+	ts.Close()
+	stats := srv.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	closeErr := srv.Close(ctx)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	if closeErr != nil {
+		return ServeResult{}, fmt.Errorf("draining after load: %w", closeErr)
+	}
+	if res.Errors > 0 {
+		return ServeResult{}, fmt.Errorf("load run hit %d errors (first: %s)", res.Errors, res.FirstError)
+	}
+	if res.Sent != uint64(p.Reports) {
+		return ServeResult{}, fmt.Errorf("load run sent %d of %d reports", res.Sent, p.Reports)
+	}
+	return ServeResult{
+		Params:        p,
+		Load:          res,
+		Stats:         stats,
+		SeedDuration:  boot.SeedDuration,
+		TrainDuration: boot.TrainDuration,
+	}, nil
+}

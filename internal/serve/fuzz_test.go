@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzIngestRequest fuzzes both HTTP decoders with arbitrary bodies. The
+// contract under fuzz: never panic, and every rejection is a *RequestError
+// carrying a 4xx status and a message — the handler turns exactly that into
+// the client response, so an untyped error here would surface as a
+// misleading 422 and a panic would kill the worker.
+func FuzzIngestRequest(f *testing.F) {
+	seeds := []string{
+		`{"caseNumber":"TGA-2013-000001","calculatedAge":34,"sex":"F","genericNameDesc":"Influenza Vaccine","meddraPTName":"Headache"}`,
+		`{"reports":[{"caseNumber":"A"},{"caseNumber":"B"}]}`,
+		`[{"caseNumber":"A"},{"caseNumber":"B"}]`,
+		`{"caseNumber":""}`,
+		`{"caseNumber":"A","calculatedAge":-3}`,
+		`{"caseNumber":"A","calculatedAge":1e99}`,
+		`{"caseNumber":"A"} {"caseNumber":"B"}`,
+		`{"reports":[{"caseNumber":"A"},{"caseNumber":"A"}]}`,
+		`{"reports": 7}`,
+		`not json at all`,
+		`[]`,
+		`null`,
+		`{"caseNumber":"` + strings.Repeat("x", MaxFieldBytes+1) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeReport(data); err != nil {
+			checkTyped(t, "DecodeReport", err)
+		}
+		if _, err := DecodeBatch(data, 50); err != nil {
+			checkTyped(t, "DecodeBatch", err)
+		}
+	})
+}
+
+func checkTyped(t *testing.T, fn string, err error) {
+	t.Helper()
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("%s returned untyped error %T: %v", fn, err, err)
+	}
+	if re.Status < 400 || re.Status >= 500 {
+		t.Fatalf("%s returned status %d, want 4xx: %v", fn, re.Status, err)
+	}
+	if re.Msg == "" {
+		t.Fatalf("%s returned a RequestError without a message", fn)
+	}
+}

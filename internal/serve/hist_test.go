@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the exact reference the histogram is pinned against: the
+// same rank rule (ceil(q*n)-th smallest) evaluated on the sorted samples.
+func refQuantile(samples []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// TestHistogramQuantilesPinned: on fixed sample sets, every reported
+// quantile must bracket the exact reference from above within one bucket
+// growth factor — the histogram's accuracy contract.
+func TestHistogramQuantilesPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sets := map[string][]time.Duration{}
+
+	constant := make([]time.Duration, 500)
+	for i := range constant {
+		constant[i] = 3 * time.Millisecond
+	}
+	sets["constant"] = constant
+
+	uniform := make([]time.Duration, 1000)
+	for i := range uniform {
+		uniform[i] = time.Duration(i+1) * time.Millisecond
+	}
+	sets["uniform"] = uniform
+
+	// Heavily skewed: a fast bulk with a slow tail, the shape that makes
+	// p99 interesting.
+	skewed := make([]time.Duration, 0, 2100)
+	for i := 0; i < 2000; i++ {
+		skewed = append(skewed, time.Duration(500+rng.Intn(1500))*time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		skewed = append(skewed, time.Duration(50+rng.Intn(450))*time.Millisecond)
+	}
+	sets["skewed"] = skewed
+
+	for name, samples := range sets {
+		h := NewHistogram()
+		for _, d := range samples {
+			h.Observe(d)
+		}
+		if h.Count() != uint64(len(samples)) {
+			t.Fatalf("%s: count %d, want %d", name, h.Count(), len(samples))
+		}
+		for _, q := range []float64{0.50, 0.90, 0.95, 0.99, 1.0} {
+			got := h.Quantile(q)
+			ref := refQuantile(samples, q)
+			lo := time.Duration(float64(ref) * 0.999)
+			hi := time.Duration(float64(ref) * histGrowth * 1.001)
+			if got < lo || got > hi {
+				t.Errorf("%s p%g = %v, want within [%v, %v] (exact %v)",
+					name, q*100, got, lo, hi, ref)
+			}
+		}
+		max := refQuantile(samples, 1.0)
+		if got := h.Summary().MaxMS; got != float64(max)/float64(time.Millisecond) {
+			t.Errorf("%s max = %vms, want %v", name, got, max)
+		}
+	}
+}
+
+// TestHistogramEmptyAndEdge: the zero state reports zeros, and negative or
+// sub-minimum samples are clamped instead of panicking or corrupting ranks.
+func TestHistogramEmptyAndEdge(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zero")
+	}
+	if s := h.Summary(); s.Count != 0 || s.P99MS != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+
+	h.Observe(-time.Second)
+	h.Observe(0)
+	h.Observe(time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	// All samples are at or below histMin; quantiles cap at the true max.
+	if got := h.Quantile(0.99); got != time.Microsecond {
+		t.Errorf("sub-minimum quantile = %v, want %v (capped at max)", got, time.Microsecond)
+	}
+}
+
+// TestHistogramConcurrentObserve: concurrent observers never lose a sample
+// (the -race run also checks the memory model of the atomics).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const (
+		workers = 8
+		each    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count %d, want %d", h.Count(), workers*each)
+	}
+	if max := time.Duration(h.max.Load()); max != workers*time.Millisecond {
+		t.Errorf("max %v, want %v", max, workers*time.Millisecond)
+	}
+	if got, want := h.Quantile(1.0), time.Duration(workers)*time.Millisecond; got != want {
+		t.Errorf("p100 %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+
+	"adrdedup"
+	"adrdedup/internal/adr"
+)
+
+// MaxFieldBytes bounds any single string field of an ingested report. TGA
+// narratives run to a few kilobytes; anything beyond this is a broken or
+// hostile client, refused with 413 before it bloats the database.
+const MaxFieldBytes = 64 << 10
+
+// RequestError is the typed 4xx error every decoding or validation failure
+// maps to. The decoder never panics and never returns an untyped error:
+// FuzzIngestRequest pins both properties.
+type RequestError struct {
+	Status int    // HTTP status, always in [400, 500)
+	Msg    string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("serve: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+var errEmptyBatch = &RequestError{Status: http.StatusBadRequest, Msg: "empty batch"}
+
+func errBatchTooLarge(n, max int) error {
+	return &RequestError{Status: http.StatusRequestEntityTooLarge,
+		Msg: fmt.Sprintf("batch of %d reports exceeds limit %d", n, max)}
+}
+
+// DecodeReport parses one JSON report object with the service's structural
+// guards: well-formed JSON, exactly one object, a non-empty case number,
+// every string field at most MaxFieldBytes, a plausible age. ArrivalSeq is
+// always reset — arrival order is assigned by the database, never by the
+// client. All failures are *RequestError (4xx).
+func DecodeReport(data []byte) (adr.Report, error) {
+	var r adr.Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&r); err != nil {
+		return adr.Report{}, &RequestError{Status: http.StatusBadRequest,
+			Msg: "invalid report JSON: " + err.Error()}
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return adr.Report{}, &RequestError{Status: http.StatusBadRequest,
+			Msg: "trailing data after report object"}
+	}
+	if err := checkReport(&r); err != nil {
+		return adr.Report{}, err
+	}
+	r.ArrivalSeq = 0
+	return r, nil
+}
+
+// checkReport enforces the per-field guards on a decoded report.
+func checkReport(r *adr.Report) error {
+	if r.CaseNumber == "" {
+		return &RequestError{Status: http.StatusUnprocessableEntity,
+			Msg: "report without case number"}
+	}
+	if r.CalculatedAge < 0 || r.CalculatedAge > 150 {
+		return &RequestError{Status: http.StatusUnprocessableEntity,
+			Msg: fmt.Sprintf("calculated age %d out of range [0, 150]", r.CalculatedAge)}
+	}
+	v := reflect.ValueOf(r).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).Type.Kind() != reflect.String {
+			continue
+		}
+		if n := len(v.Field(i).String()); n > MaxFieldBytes {
+			return &RequestError{Status: http.StatusRequestEntityTooLarge,
+				Msg: fmt.Sprintf("field %s is %d bytes, limit %d", t.Field(i).Name, n, MaxFieldBytes)}
+		}
+	}
+	return nil
+}
+
+// DecodeBatch parses a batch ingest body: either {"reports": [...]} or a
+// bare JSON array of report objects. Beyond the per-report guards it
+// refuses empty batches, batches over maxBatch, and duplicate case numbers
+// within the batch (which the database would reject anyway — refusing them
+// at the door keeps the rejection a typed 4xx). All failures are
+// *RequestError.
+func DecodeBatch(data []byte, maxBatch int) ([]adr.Report, error) {
+	var raws []json.RawMessage
+	bare := false
+	for _, b := range data {
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		bare = b == '['
+		break
+	}
+	if bare {
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return nil, &RequestError{Status: http.StatusBadRequest,
+				Msg: "invalid batch JSON: " + err.Error()}
+		}
+	} else {
+		var req struct {
+			Reports []json.RawMessage `json:"reports"`
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return nil, &RequestError{Status: http.StatusBadRequest,
+				Msg: "invalid batch JSON: " + err.Error()}
+		}
+		raws = req.Reports
+	}
+	if len(raws) == 0 {
+		return nil, errEmptyBatch
+	}
+	if maxBatch > 0 && len(raws) > maxBatch {
+		return nil, errBatchTooLarge(len(raws), maxBatch)
+	}
+	out := make([]adr.Report, len(raws))
+	seen := make(map[string]int, len(raws))
+	for i, raw := range raws {
+		r, err := DecodeReport(raw)
+		if err != nil {
+			re := err.(*RequestError)
+			return nil, &RequestError{Status: re.Status,
+				Msg: fmt.Sprintf("report %d: %s", i, re.Msg)}
+		}
+		if j, dup := seen[r.CaseNumber]; dup {
+			return nil, &RequestError{Status: http.StatusUnprocessableEntity,
+				Msg: fmt.Sprintf("reports %d and %d share case number %q", j, i, r.CaseNumber)}
+		}
+		seen[r.CaseNumber] = i
+		out[i] = r
+	}
+	return out, nil
+}
+
+// matchJSON is the wire form of one flagged duplicate.
+type matchJSON struct {
+	CaseA     string  `json:"caseA"`
+	CaseB     string  `json:"caseB"`
+	Score     float64 `json:"score"`
+	Duplicate bool    `json:"duplicate"`
+}
+
+// ingestResponse is the wire response of both ingest endpoints. Matches
+// carries only the pairs flagged duplicate; Scored counts every scored
+// candidate pair.
+type ingestResponse struct {
+	Ingested   int         `json:"ingested"`
+	Scored     int         `json:"scored"`
+	Duplicates int         `json:"duplicates"`
+	Matches    []matchJSON `json:"matches"`
+}
+
+// errorResponse is the wire form of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/reports        one report object
+//	POST /v1/reports:batch  {"reports": [...]} or a bare array
+//	GET  /v1/stats          live Stats
+//	GET  /healthz           200 while running, 503 otherwise
+//	GET  /debug/vars        expvar (includes the adrdedupd stats var)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/reports:batch", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, false)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		running := s.state == stateRunning
+		s.mu.RUnlock()
+		if running {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": stateName(s.state)})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, single bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
+		return
+	}
+	var batch []adr.Report
+	if single {
+		rep, derr := DecodeReport(body)
+		if derr == nil {
+			batch = []adr.Report{rep}
+		}
+		err = derr
+	} else {
+		batch, err = DecodeBatch(body, s.cfg.MaxBatch)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	matches, err := s.Submit(r.Context(), batch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := ingestResponse{Ingested: len(batch), Scored: len(matches), Matches: []matchJSON{}}
+	for _, m := range adrdedup.Duplicates(matches) {
+		resp.Matches = append(resp.Matches, matchJSON{CaseA: m.CaseA, CaseB: m.CaseB, Score: m.Score, Duplicate: true})
+	}
+	resp.Duplicates = len(resp.Matches)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError maps pipeline errors to HTTP statuses: typed request errors
+// keep their status, backpressure and drain map to 429/503 with a
+// Retry-After hint, and a Detect failure (batch rolled back, safe to
+// resubmit) maps to 422.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	retryAfter := strconv.Itoa(int((s.cfg.RetryAfter + 999_999_999) / 1_000_000_000))
+	var re *RequestError
+	switch {
+	case errors.As(err, &re):
+		writeJSON(w, re.Status, errorResponse{Error: re.Msg})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfter)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrNotStarted):
+		w.Header().Set("Retry-After", retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// The expvar integration publishes one "adrdedupd" var holding the stats of
+// every live server in this process (tests run several), keyed by start
+// order. Registered lazily on the first Start so importing the package does
+// not pollute expvar.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarSrvs = map[*Server]int{}
+	expvarSeq  int
+)
+
+func registerExpvar(s *Server) {
+	expvarOnce.Do(func() {
+		expvar.Publish("adrdedupd", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			type entry struct {
+				ID int `json:"id"`
+				Stats
+			}
+			out := make([]entry, 0, len(expvarSrvs))
+			for srv, id := range expvarSrvs {
+				out = append(out, entry{ID: id, Stats: srv.Stats()})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+			return out
+		}))
+	})
+	expvarMu.Lock()
+	expvarSeq++
+	expvarSrvs[s] = expvarSeq
+	expvarMu.Unlock()
+}
+
+func unregisterExpvar(s *Server) {
+	expvarMu.Lock()
+	delete(expvarSrvs, s)
+	expvarMu.Unlock()
+}

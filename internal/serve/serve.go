@@ -1,0 +1,421 @@
+// Package serve wraps a trained adrdedup.Detector in a long-running online
+// ingest service: reports arrive continuously over HTTP (singles or
+// batches), each arrival is checked against the live database through the
+// detector's incremental candidate index (the shared interner and
+// kind-tagged term index from the blocking path, or the prefix-filtered
+// MinArrival path of internal/candgen), and the scored matches are returned
+// to the submitter.
+//
+// The service is a bounded pipeline:
+//
+//	HTTP handler -> bounded queue -> worker pool -> Detector (serialized)
+//
+// Handlers enqueue a job and wait for its result, so client-observed
+// latency covers queueing plus scoring. The queue has a fixed depth; when
+// it is full the submitter gets ErrQueueFull, which the HTTP layer turns
+// into 429 with a Retry-After header — backpressure instead of collapse.
+// Workers claim jobs from the queue and run Detect under one mutex: the
+// detector is a single-driver pipeline (like a Spark driver), and the
+// arrival order of the database is defined by the order batches win that
+// mutex. Scoring itself is parallelized inside the engine, which the
+// bootstrap runs in RealParallel mode (the work-stealing pool) by default.
+//
+// Shutdown is a drain: Shutdown flips the server to draining (new submits
+// are refused with ErrShuttingDown, HTTP 503), closes the queue, and waits
+// for the workers to finish every already-accepted batch, so no accepted
+// report is ever dropped.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adrdedup"
+	"adrdedup/internal/adr"
+)
+
+// Sentinel errors Submit returns; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull signals backpressure: the ingest queue is at capacity.
+	ErrQueueFull = errors.New("serve: ingest queue full")
+	// ErrShuttingDown is returned once Shutdown has begun (or completed).
+	ErrShuttingDown = errors.New("serve: server is shutting down")
+	// ErrNotStarted is returned before Start.
+	ErrNotStarted = errors.New("serve: server not started")
+)
+
+// Config tunes the serving pipeline. Zero values take defaults.
+type Config struct {
+	// Workers is the number of pipeline workers claiming batches from the
+	// queue (default 2). Detection is serialized on the detector; extra
+	// workers overlap a batch's post-processing and response delivery
+	// with the next batch's scoring.
+	Workers int
+	// QueueDepth bounds the ingest queue (default 64). A full queue
+	// refuses new batches with ErrQueueFull / HTTP 429.
+	QueueDepth int
+	// MaxBatch bounds the reports per submitted batch (default 5000);
+	// larger batches are refused with a 413-coded RequestError.
+	MaxBatch int
+	// MaxBodyBytes bounds an HTTP request body (default 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint sent with 429/503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// RecordArrivals keeps a log of each absorbed batch's case numbers in
+	// arrival order, so tests can replay the exact arrival sequence
+	// against a sequential oracle. Off in production: the log grows
+	// without bound.
+	RecordArrivals bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 5000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server states: New -> (Start) -> running -> (Shutdown) -> draining ->
+// stopped. Submits are accepted only while running.
+const (
+	stateNew = iota
+	stateRunning
+	stateDraining
+	stateStopped
+)
+
+func stateName(s int) string {
+	switch s {
+	case stateRunning:
+		return "running"
+	case stateDraining:
+		return "draining"
+	case stateStopped:
+		return "stopped"
+	default:
+		return "new"
+	}
+}
+
+// job is one queued ingest batch; done is buffered so a worker never blocks
+// on a submitter that gave up.
+type job struct {
+	batch    []adr.Report
+	enqueued time.Time
+	done     chan jobResult
+}
+
+type jobResult struct {
+	matches []adrdedup.Match
+	err     error
+}
+
+// Server is the online dedup service around one trained detector. Create
+// with New, call Start, serve HTTP via Handler (or call Submit directly),
+// and stop with Shutdown/Close.
+type Server struct {
+	cfg Config
+	det *adrdedup.Detector
+
+	// mu guards state against the queue lifecycle: submits hold it shared
+	// while enqueueing, Shutdown holds it exclusively to flip the state
+	// and close the queue, so a send can never race the close.
+	mu    sync.RWMutex
+	state int
+	queue chan *job
+	wg    sync.WaitGroup
+
+	// detMu serializes detector access across workers; acquisition order
+	// defines the database's arrival order.
+	detMu sync.Mutex
+
+	started time.Time
+	hist    *Histogram
+
+	ingested, batches, scored, matched  atomic.Uint64
+	queueRejects, drainRefusals, failed atomic.Uint64
+
+	arrivalMu sync.Mutex
+	arrivals  [][]string
+
+	// testHookBeforeDetect, when set, runs in the worker just before each
+	// Detect — the seam deterministic backpressure/drain tests use to
+	// hold a worker mid-batch.
+	testHookBeforeDetect func()
+}
+
+// New creates a Server around a trained detector. The server does not own
+// the detector's engine; Close tears both down for callers that want one
+// lifecycle.
+func New(det *adrdedup.Detector, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:  cfg,
+		det:  det,
+		hist: NewHistogram(),
+	}
+}
+
+// Start launches the worker pool. Starting an already-started or stopped
+// server is an error.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateNew {
+		return errors.New("serve: Start on a " + stateName(s.state) + " server")
+	}
+	if !s.det.Trained() {
+		return errors.New("serve: detector is not trained")
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.state = stateRunning
+	s.started = time.Now()
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	registerExpvar(s)
+	return nil
+}
+
+// Submit enqueues a batch and waits for its matches. It returns
+// ErrQueueFull when the queue is at capacity, ErrShuttingDown once Shutdown
+// began, a *RequestError for an invalid batch, or the Detect error (the
+// detector rolls the batch back, so the same batch may be resubmitted). If
+// ctx expires while the batch is queued or scoring, Submit returns the
+// context error but the batch is still processed — accepted work is never
+// dropped.
+func (s *Server) Submit(ctx context.Context, batch []adr.Report) ([]adrdedup.Match, error) {
+	if len(batch) == 0 {
+		return nil, errEmptyBatch
+	}
+	if len(batch) > s.cfg.MaxBatch {
+		return nil, errBatchTooLarge(len(batch), s.cfg.MaxBatch)
+	}
+	j := &job{batch: batch, enqueued: time.Now(), done: make(chan jobResult, 1)}
+
+	s.mu.RLock()
+	switch s.state {
+	case stateRunning:
+	case stateNew:
+		s.mu.RUnlock()
+		return nil, ErrNotStarted
+	default:
+		s.mu.RUnlock()
+		s.drainRefusals.Add(1)
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.queueRejects.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.done:
+		return r.matches, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.process(j)
+	}
+}
+
+func (s *Server) process(j *job) {
+	if hook := s.testHookBeforeDetect; hook != nil {
+		hook()
+	}
+	s.detMu.Lock()
+	matches, err := s.det.Detect(j.batch)
+	if err == nil && s.cfg.RecordArrivals {
+		cases := make([]string, len(j.batch))
+		for i, r := range j.batch {
+			cases[i] = r.CaseNumber
+		}
+		s.arrivalMu.Lock()
+		s.arrivals = append(s.arrivals, cases)
+		s.arrivalMu.Unlock()
+	}
+	s.detMu.Unlock()
+
+	s.hist.Observe(time.Since(j.enqueued))
+	if err != nil {
+		s.failed.Add(1)
+		j.done <- jobResult{err: err}
+		return
+	}
+	s.batches.Add(1)
+	s.ingested.Add(uint64(len(j.batch)))
+	s.scored.Add(uint64(len(matches)))
+	dups := 0
+	for _, m := range matches {
+		if m.Duplicate {
+			dups++
+		}
+	}
+	s.matched.Add(uint64(dups))
+	j.done <- jobResult{matches: matches}
+}
+
+// Shutdown drains the server: new submits are refused immediately, every
+// already-accepted batch completes, then Shutdown returns nil. If ctx
+// expires first it returns ctx.Err() while the drain continues in the
+// background; a later Shutdown call waits for it again.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	switch s.state {
+	case stateRunning:
+		s.state = stateDraining
+		close(s.queue)
+	case stateNew:
+		s.state = stateStopped
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.state = stateStopped
+		s.mu.Unlock()
+		unregisterExpvar(s)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the server and then closes the detector's engine (stopping
+// the RealParallel worker pool). For callers that gave the server sole
+// ownership of the detector.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.Shutdown(ctx)
+	s.det.Engine().Cluster().Close()
+	return err
+}
+
+// Detector exposes the wrapped detector, for stats and model export. The
+// caller must not call detection methods on it while the server runs.
+func (s *Server) Detector() *adrdedup.Detector { return s.det }
+
+// ArrivalBatches returns the recorded arrival log (Config.RecordArrivals):
+// the case numbers of each absorbed batch, in the order the batches won the
+// detector. Tests replay it against a sequential oracle.
+func (s *Server) ArrivalBatches() [][]string {
+	s.arrivalMu.Lock()
+	defer s.arrivalMu.Unlock()
+	out := make([][]string, len(s.arrivals))
+	for i, b := range s.arrivals {
+		out[i] = append([]string(nil), b...)
+	}
+	return out
+}
+
+// Stats is the live counter snapshot behind /v1/stats and /debug/vars.
+type Stats struct {
+	// State is new, running, draining, or stopped.
+	State         string  `json:"state"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+
+	// Ingested counts absorbed reports; Batches the absorbed batches;
+	// Scored the candidate pairs scored; Matched the pairs flagged
+	// duplicate.
+	Ingested uint64 `json:"ingested"`
+	Batches  uint64 `json:"batches"`
+	Scored   uint64 `json:"scored"`
+	Matched  uint64 `json:"matched"`
+
+	// QueueFullRejects counts submits refused with 429, DrainRefusals
+	// submits refused during/after shutdown, FailedBatches batches whose
+	// Detect errored (and rolled back).
+	QueueFullRejects uint64 `json:"queueFullRejects"`
+	DrainRefusals    uint64 `json:"drainRefusals"`
+	FailedBatches    uint64 `json:"failedBatches"`
+
+	// DatabaseReports is the live database size (seed + ingested).
+	DatabaseReports int `json:"databaseReports"`
+
+	// Latency is the enqueue-to-scored batch latency distribution.
+	Latency LatencySummary `json:"latency"`
+}
+
+// Stats snapshots the live counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	state := s.state
+	started := s.started
+	var depth int
+	if s.queue != nil && state == stateRunning {
+		depth = len(s.queue)
+	}
+	s.mu.RUnlock()
+	st := Stats{
+		State:            stateName(state),
+		Workers:          s.cfg.Workers,
+		QueueDepth:       depth,
+		QueueCap:         s.cfg.QueueDepth,
+		Ingested:         s.ingested.Load(),
+		Batches:          s.batches.Load(),
+		Scored:           s.scored.Load(),
+		Matched:          s.matched.Load(),
+		QueueFullRejects: s.queueRejects.Load(),
+		DrainRefusals:    s.drainRefusals.Load(),
+		FailedBatches:    s.failed.Load(),
+		DatabaseReports:  s.det.Database().Len(),
+		Latency:          s.hist.Summary(),
+	}
+	if !started.IsZero() {
+		st.UptimeSeconds = time.Since(started).Seconds()
+	}
+	return st
+}
+
+// SortMatches sorts matches the way Detect orders one batch — descending
+// score, ties by (CaseA, CaseB) — so match sets merged across incremental
+// batches compare deterministically against a one-shot run.
+func SortMatches(matches []adrdedup.Match) {
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		if matches[i].CaseA != matches[j].CaseA {
+			return matches[i].CaseA < matches[j].CaseA
+		}
+		return matches[i].CaseB < matches[j].CaseB
+	})
+}
